@@ -1,0 +1,42 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+One session-scoped :class:`~repro.experiments.common.Workbench` feeds
+every figure bench, so the expensive dataset generations run once.
+Rendered figures are written to ``benchmarks/output/`` and printed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import Workbench
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    return Workbench(
+        seed=2016,
+        unlimited_sessions=90,
+        sweep_sessions_per_limit=6,
+        sweep_limits_mbps=(0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 100.0),
+        crawl_world_concurrent=900,
+        deep_crawls=4,
+        targeted_duration_s=2400.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_sink():
+    """Persist each regenerated figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, rendered: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n--- {name} ---\n{rendered}\n")
+
+    return write

@@ -1,0 +1,24 @@
+"""Figure 1: cumulative broadcasts discovered vs. areas queried."""
+
+from repro.experiments import fig1_crawl
+
+
+def test_bench_fig1(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        fig1_crawl.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("fig1_crawl", result.render())
+
+    assert len(result.curves_absolute) == 4
+    for index, total in enumerate(result.totals):
+        # Each deep crawl finds a substantial population (the paper's
+        # crawls find 1K-4K at full service scale).
+        assert total > 200
+        # Discovery curves are monotone and end at the total.
+        counts = [c for _, c in result.curves_absolute[index]]
+        assert counts == sorted(counts)
+        assert counts[-1] == total
+        # Fig 1(b): half of the areas hold >= ~80% of the broadcasts.
+        assert result.share_at_half_areas(index) >= 75.0
+        # Pacing keeps a crawl in the minutes range.
+        assert result.durations_s[index] > 60.0

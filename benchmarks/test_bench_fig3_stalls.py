@@ -1,0 +1,24 @@
+"""Figure 3: stall ratios with and without bandwidth limiting."""
+
+from repro.experiments import fig3_stalls
+
+
+def test_bench_fig3(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        fig3_stalls.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("fig3_stalls", result.render())
+
+    # Fig 3(a): most unlimited streams do not stall...
+    assert result.clean_share() > 0.55
+    # ...but a notable cluster sits in the single-stall band.
+    assert result.single_stall_cluster_share() > 0.05
+    # Stall ratios are by definition in [0, 1].
+    assert all(0.0 <= r <= 1.0 for r in result.unlimited_ratios)
+
+    # Fig 3(b): heavy stalling at 0.5 Mbps, essentially none above 2.
+    assert result.median_ratio(0.5) > 0.15
+    for limit in (3.0, 4.0, 6.0, 8.0, 10.0):
+        assert result.median_ratio(limit) < 0.05
+    # Monotone trend across the boundary.
+    assert result.median_ratio(0.5) > result.median_ratio(2.0)

@@ -1,0 +1,23 @@
+"""Figure 4: join time and playback latency vs bandwidth limit."""
+
+from repro.experiments import fig4_latency
+
+
+def test_bench_fig4(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        fig4_latency.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("fig4_latency", result.render())
+
+    # Join time grows dramatically when bandwidth drops to 2 Mbps and
+    # below (paper's phrasing) — compare 0.5 against the unlimited case.
+    assert result.median_join(0.5) > 2.5 * result.median_join(100.0)
+    assert result.median_join(100.0) < 4.0
+
+    # Playback latency: roughly a few seconds when unlimited.
+    assert 1.0 < result.median_latency(100.0) < 6.0
+    # And inflated under the tightest limit.
+    assert result.median_latency(0.5) > 2 * result.median_latency(100.0)
+
+    # Both sweeps cover every limit.
+    assert set(result.join_by_limit) == set(result.latency_by_limit)

@@ -1,0 +1,19 @@
+"""Figure 5: video delivery latency, HLS vs RTMP (NTP-timestamp method)."""
+
+from repro.experiments import fig5_delivery
+
+
+def test_bench_fig5(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        fig5_delivery.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("fig5_delivery", result.render())
+
+    # RTMP delivery happens in less than 300 ms for ~75% of broadcasts.
+    assert result.rtmp_p75() < 0.45
+    # HLS delivery latency is over 5 s on average (vs RTMP's sub-second).
+    assert result.hls_mean() > 4.0
+    assert result.hls_mean() > 10 * result.rtmp_p75()
+    # The two CDFs separate completely in the 1 s region.
+    assert result.rtmp_cdf()(1.0) > 0.9
+    assert result.hls_cdf()(1.0) < 0.1

@@ -1,0 +1,25 @@
+"""Figure 6: bitrate CDFs per protocol and the QP-vs-bitrate scatter."""
+
+from repro.experiments import fig6_quality
+
+
+def test_bench_fig6(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        fig6_quality.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("fig6_quality", result.render())
+
+    # The bulk of the bitrates sit in the paper's 200-400 kbps band.
+    assert result.typical_band_share() > 0.6
+
+    # The protocols' distributions are very similar in the bulk...
+    rtmp_median = result.rtmp_cdf().quantile(0.5)
+    hls_median = result.hls_cdf().quantile(0.5)
+    assert abs(rtmp_median - hls_median) < 100e3
+
+    # Fig 6(b): at a fixed QP the bitrate spans a wide range (content
+    # variability), here at least ~2x.
+    assert result.qp_spread_at_fixed_quality() > 1.8
+
+    # All QP values are valid H.264 QPs.
+    assert all(10 <= q <= 51 for _, q in result.qp_points)

@@ -1,0 +1,26 @@
+"""Figure 7: average power consumption per app state over WiFi and LTE."""
+
+import pytest
+
+from repro.energy.states import PAPER_FIGURE7_MW, AppState
+from repro.experiments import fig7_power
+
+
+def test_bench_fig7(benchmark, figure_sink):
+    result = benchmark.pedantic(
+        fig7_power.run, kwargs={"duration_s": 20.0}, rounds=1, iterations=1
+    )
+    figure_sink("fig7_power", result.render())
+
+    # Every bar within 12% of the paper's figure.
+    for state, (wifi, lte) in result.measured.items():
+        paper_wifi, paper_lte = PAPER_FIGURE7_MW[state]
+        assert wifi == pytest.approx(paper_wifi, rel=0.12), state
+        assert lte == pytest.approx(paper_lte, rel=0.12), state
+
+    # The headline: turning the chat on raises power dramatically —
+    # to nearly broadcasting levels.
+    assert result.chat_overhead_mw(0) > 1000
+    chat = result.measured[AppState.VIDEO_HLS_CHAT_ON]
+    broadcast = result.measured[AppState.BROADCAST]
+    assert chat[0] > 0.9 * broadcast[0]

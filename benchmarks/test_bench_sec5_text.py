@@ -1,0 +1,60 @@
+"""Section 5's in-text findings: t-tests, protocol boundary, chat
+traffic, codec census."""
+
+from repro.experiments import sec5_protocol, sec5_ttests, sec51_chat, sec52_codecs
+
+
+def test_bench_sec5_ttests(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        sec5_ttests.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("sec5_ttests", result.render())
+    # "Only the frame rate differs statistically significantly."
+    assert result.significant_metrics() == ["avg_fps"]
+
+
+def test_bench_sec5_protocol(benchmark, workbench, figure_sink):
+    result = benchmark.pedantic(
+        sec5_protocol.run, args=(workbench,), rounds=1, iterations=1
+    )
+    figure_sink("sec5_protocol", result.render())
+    # The HLS boundary sits somewhere around 100 viewers.
+    assert 40 < result.boundary_estimate < 250
+    # 87 ingest servers, on several continents, none in Africa.
+    assert result.rtmp_server_count == 87
+    assert len(set(result.rtmp_regions)) >= 5
+    # Two HLS edges; the Finland viewer hits the European one.
+    assert result.hls_edge_count == 2
+    assert result.hls_edge_for_viewer == "fastly-eu"
+
+
+def test_bench_sec51_chat(benchmark, figure_sink):
+    result = benchmark.pedantic(sec51_chat.run, rounds=1, iterations=1)
+    figure_sink("sec51_chat", result.render())
+    # ~500 kbps -> several Mbps when the chat pane is on.
+    assert 250e3 < result.chat_off_bps < 900e3
+    assert result.chat_on_bps > 2.0e6
+    assert result.amplification > 3.0
+    # Uncached avatars are re-downloaded; caching mitigates.
+    assert result.duplicate_downloads > 10
+    assert result.chat_on_cached_bps < 0.5 * result.chat_on_bps
+
+
+def test_bench_sec52_codecs(benchmark, figure_sink):
+    result = benchmark.pedantic(
+        sec52_codecs.run, kwargs={"n_streams": 150, "duration_s": 60.0},
+        rounds=1, iterations=1,
+    )
+    figure_sink("sec52_codecs", result.render())
+    # Most streams use the repeated IBP scheme; about a fifth I+P only;
+    # I-only is rare.
+    assert result.gop_shares["IBP"] > 0.6
+    assert 0.10 < result.gop_shares["IP"] < 0.30
+    assert result.gop_shares.get("I", 0.0) < 0.05
+    # A new I frame roughly every 36 frames.
+    assert 30 < result.mean_i_period < 42
+    # Segment durations range 3-6 s with the mode near 3.6 s.
+    assert all(2.5 <= d <= 6.5 for d in result.segment_durations)
+    assert result.segment_mode_share() > 0.25
+    # Audio at the two nominal VBR operating points.
+    assert set(round(r) for r in result.audio_rates) == {32_000, 64_000}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: watch one simulated Periscope broadcast and read its QoE.
+
+Builds a popular broadcast, joins it over each delivery protocol for 60
+simulated seconds (chat pane on, as in the app), and prints the metrics
+the paper's Section 5 defines: join time, stall events, playback latency
+and the NTP-derived delivery latency.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.automation.devices import GALAXY_S4
+from repro.core.session import SessionSetup, ViewingSession
+from repro.service.broadcast import sample_broadcast
+from repro.service.geo import POPULATION_CENTERS, GeoPoint
+from repro.service.selection import DeliveryProtocol
+from repro.util.units import format_bitrate, format_duration
+
+
+def watch(protocol: DeliveryProtocol, viewers: float) -> None:
+    # A broadcaster in Istanbul (Periscope's biggest 2016 market), one
+    # hour into a long broadcast.
+    broadcast = sample_broadcast(
+        random.Random(7), start_time=0.0,
+        location=GeoPoint(41.0, 28.9), center=POPULATION_CENTERS[17],
+    )
+    broadcast.mean_viewers = viewers
+    broadcast.duration_s = 2 * 3600.0
+
+    setup = SessionSetup(
+        broadcast=broadcast,
+        age_at_join=3600.0,
+        protocol=protocol,
+        device=GALAXY_S4,
+        bandwidth_limit_mbps=100.0,   # unshaped, like the paper's default
+        watch_seconds=60.0,
+        chat_ui_on=True,
+        seed=42,
+    )
+    artifacts = ViewingSession(setup).run()
+    qoe = artifacts.qoe
+
+    print(f"=== {protocol.value.upper()} session "
+          f"({qoe.avg_viewers:.0f} concurrent viewers) ===")
+    print(f"  join time          : {format_duration(qoe.join_time_s)}")
+    print(f"  playback           : {format_duration(qoe.playback_s)}")
+    print(f"  stalls             : {qoe.stall_count} "
+          f"({format_duration(qoe.total_stall_s)} total)")
+    print(f"  playback latency   : {format_duration(qoe.playback_latency_s or 0)}")
+    if qoe.delivery_latency_s is not None:
+        print(f"  delivery latency   : {format_duration(qoe.delivery_latency_s)} "
+              f"(mean of {len(qoe.delivery_latency_samples)} NTP samples)")
+    print(f"  video bitrate      : {format_bitrate(qoe.video_bitrate_bps or 0)}")
+    print(f"  average QP         : {qoe.avg_qp:.1f}")
+    print(f"  displayed fps      : {qoe.avg_fps:.1f}")
+    print(f"  chat messages      : {artifacts.chat_messages} "
+          f"({artifacts.avatar_requests} avatar downloads, "
+          f"{artifacts.avatar_bytes / 1e6:.1f} MB)")
+    print(f"  total downstream   : {artifacts.total_down_bytes / 1e6:.1f} MB")
+    print()
+
+
+def main() -> None:
+    # A quiet broadcast is served over RTMP (pushed, sub-second delivery);
+    # a popular one over HLS from the CDN (segmented, seconds of latency).
+    watch(DeliveryProtocol.RTMP, viewers=25.0)
+    watch(DeliveryProtocol.HLS, viewers=800.0)
+
+
+if __name__ == "__main__":
+    main()

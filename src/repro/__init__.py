@@ -1,0 +1,31 @@
+"""repro — reproduction of *A First Look at Quality of Mobile Live
+Streaming Experience: the Case of Periscope* (Siekkinen, Masala and
+Kämäräinen, IMC 2016).
+
+The original paper measures a live commercial service that no longer
+exists.  This package therefore contains two halves:
+
+* a faithful, deterministic **simulation of the measured system** — a
+  Periscope-like live-streaming service (API, RTMP-like and HLS delivery,
+  chat, CDN/ingest infrastructure), mobile clients, an access network, a
+  media encoder and a smartphone power model; and
+* a reimplementation of the paper's **measurement methodology** — the API
+  crawler, the automated-viewing harness, traffic capture and stream
+  reconstruction, media inspection and the QoE/energy analyses — run
+  against that simulation to regenerate every table and figure.
+
+Entry points:
+
+* :mod:`repro.core` — high-level study orchestration and QoE metrics.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import StudyConfig
+from repro.core.qoe import SessionQoE
+
+__all__ = ["StudyConfig", "SessionQoE", "__version__"]

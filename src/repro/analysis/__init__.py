@@ -1,0 +1,26 @@
+"""Statistics and figure rendering for the reproduction.
+
+* :mod:`repro.analysis.stats` — Welch's t-test (used in Section 5 to
+  justify pooling the two devices' data), plus helpers over the ECDF /
+  boxplot primitives in :mod:`repro.util.empirical`.
+* :mod:`repro.analysis.charts` — terminal rendering: CDF curves,
+  boxplot rows and bar charts, so every benchmark prints the same
+  figure the paper shows.
+"""
+
+from repro.analysis.stats import WelchResult, welch_t_test
+from repro.analysis.charts import (
+    render_bars,
+    render_boxplot_rows,
+    render_cdf,
+    render_table,
+)
+
+__all__ = [
+    "WelchResult",
+    "welch_t_test",
+    "render_bars",
+    "render_boxplot_rows",
+    "render_cdf",
+    "render_table",
+]

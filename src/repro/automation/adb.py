@@ -1,0 +1,96 @@
+"""adb-style automation: the paper's Teleport tap loop.
+
+Section 2: "Automation was achieved with a script that sends tap events
+through Android debug bridge (adb) to push the Teleport button, wait for
+60 s, push the close button, push the 'home' button and repeat all over
+again.  The script also captures all the video and audio traffic using
+tcpdump."
+
+:class:`AdbViewingScript` reproduces that loop verbatim as a sequence of
+UI events driving :class:`~repro.core.study.AutomatedViewingStudy`
+sessions, with the event log exposed for inspection — useful to verify
+experiment cadence and for the documentation examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - break the automation<->core cycle
+    from repro.core.study import AutomatedViewingStudy, StudyDataset
+
+#: UI navigation overhead between taps, seconds (launching the app view,
+#: animations); matches the study cadence of roughly 70 s per session.
+TAP_OVERHEAD_S = 10.0 / 3.0
+
+
+@dataclass(frozen=True)
+class UiEvent:
+    """One scripted adb input event."""
+
+    at: float  # experiment wall time, seconds
+    action: str  # "tap_teleport" | "wait" | "tap_close" | "tap_home"
+    detail: str = ""
+
+
+def _new_dataset() -> "StudyDataset":
+    from repro.core.study import StudyDataset
+
+    return StudyDataset()
+
+
+@dataclass
+class AdbRunLog:
+    """The script's event log plus the collected dataset."""
+
+    events: List[UiEvent] = field(default_factory=list)
+    dataset: "StudyDataset" = field(default_factory=_new_dataset)
+
+    def taps(self, action: str) -> List[UiEvent]:
+        return [e for e in self.events if e.action == action]
+
+
+class AdbViewingScript:
+    """Drives the Teleport loop against a study harness."""
+
+    def __init__(self, study: "AutomatedViewingStudy") -> None:
+        self.study = study
+
+    def run(
+        self,
+        n_sessions: int,
+        bandwidth_limit_mbps: float = 100.0,
+        watch_seconds: Optional[float] = None,
+    ) -> AdbRunLog:
+        """Execute ``n_sessions`` iterations of the tap loop."""
+        if n_sessions < 1:
+            raise ValueError("need at least one session")
+        watch = watch_seconds if watch_seconds is not None else self.study.config.watch_seconds
+        log = AdbRunLog()
+        clock = 0.0
+        completed = 0
+        attempts = 0
+        while completed < n_sessions and attempts < 4 * n_sessions:
+            attempts += 1
+            log.events.append(UiEvent(clock, "tap_teleport"))
+            setup = self.study._next_setup(bandwidth_limit_mbps)
+            if setup is None:
+                # Landed on a dying broadcast; the app bounces back.
+                log.events.append(UiEvent(clock + 1.0, "tap_close", "retry"))
+                clock += TAP_OVERHEAD_S
+                continue
+            artifacts = self.study.run_session(setup)
+            log.dataset.sessions.append(artifacts.qoe)
+            log.dataset.avatar_bytes.append(artifacts.avatar_bytes)
+            log.dataset.down_bytes.append(artifacts.total_down_bytes)
+            clock += TAP_OVERHEAD_S
+            log.events.append(UiEvent(clock, "wait", f"{watch:.0f}s"))
+            clock += watch
+            log.events.append(UiEvent(clock, "tap_close",
+                                      setup.broadcast.broadcast_id))
+            clock += TAP_OVERHEAD_S
+            log.events.append(UiEvent(clock, "tap_home"))
+            clock += TAP_OVERHEAD_S
+            completed += 1
+        return log

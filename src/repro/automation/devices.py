@@ -1,0 +1,41 @@
+"""Device profiles: Samsung Galaxy S3 and S4.
+
+Section 5: "Since we had data from two different devices, we performed a
+number of Welch's t-tests ... Only the frame rate differs statistically
+significantly between the two datasets."  The S3's older SoC drops more
+frames during decode/display; everything else (network-driven metrics)
+is device independent, which the t-test benchmark verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A viewer phone."""
+
+    name: str
+    #: Fraction of received frames the device manages to display.
+    display_fps_factor: float
+    #: Jitter of the display factor across sessions (thermal state etc.).
+    display_fps_jitter: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.display_fps_factor <= 1.0:
+            raise ValueError("display_fps_factor must be in (0, 1]")
+
+
+GALAXY_S3 = DeviceProfile(
+    name="galaxy-s3", display_fps_factor=0.88, display_fps_jitter=0.04
+)
+GALAXY_S4 = DeviceProfile(
+    name="galaxy-s4", display_fps_factor=0.97, display_fps_jitter=0.02
+)
+
+DEVICES: Dict[str, DeviceProfile] = {
+    GALAXY_S3.name: GALAXY_S3,
+    GALAXY_S4.name: GALAXY_S4,
+}

@@ -1,0 +1,111 @@
+"""mitmproxy equivalent: transparent interception with inline scripts.
+
+The study put an SSL-capable MITM proxy between the phone and the
+service (possible because the Android app, unlike iOS, does not pin
+certificates).  Inline scripts observe — and may modify — each request
+and response.  Both study datasets were produced by such scripts: the
+crawler (replaying map queries with modified coordinates) and the
+playbackMeta dumper.
+
+Our proxy wraps an HTTP handler: it sits server-side of the simulated
+network exactly where a transparent proxy would terminate TLS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.protocols.http import HttpRequest, HttpResponse, RequestHandler
+
+
+@dataclass
+class Flow:
+    """One intercepted request/response pair (mitmproxy's `flow`)."""
+
+    request: HttpRequest
+    client: str
+    response: Optional[HttpResponse] = None
+    #: Scripts may park metadata here (mitmproxy's flow.metadata).
+    metadata: dict = field(default_factory=dict)
+
+
+class InlineScript:
+    """Base class for inline scripts: override ``request`` / ``response``.
+
+    ``request`` runs before the upstream handler and may return a
+    replacement :class:`HttpRequest` (the crawler rewrites coordinates
+    this way) or an :class:`HttpResponse` to short-circuit entirely.
+    ``response`` observes/modifies the upstream response.
+    """
+
+    def request(self, flow: Flow) -> Optional[object]:
+        return None
+
+    def response(self, flow: Flow) -> Optional[HttpResponse]:
+        return None
+
+
+class MitmProxy:
+    """Chains inline scripts around an upstream handler."""
+
+    def __init__(self, upstream: RequestHandler) -> None:
+        self.upstream = upstream
+        self.scripts: List[InlineScript] = []
+        self.flows: List[Flow] = []
+
+    def addon(self, script: InlineScript) -> None:
+        """Register an inline script (mitmproxy -s equivalent)."""
+        self.scripts.append(script)
+
+    def handler(self) -> RequestHandler:
+        """The wrapped handler to mount on an HttpServer."""
+
+        def handle(request: HttpRequest, client: str) -> HttpResponse:
+            flow = Flow(request=request, client=client)
+            self.flows.append(flow)
+            for script in self.scripts:
+                result = script.request(flow)
+                if isinstance(result, HttpResponse):
+                    flow.response = result
+                    return result
+                if isinstance(result, HttpRequest):
+                    flow.request = result
+            response = self.upstream(flow.request, client)
+            flow.response = response
+            for script in self.scripts:
+                replaced = script.response(flow)
+                if isinstance(replaced, HttpResponse):
+                    flow.response = replaced
+                    response = replaced
+            return response
+
+        return handle
+
+
+class RecordingScript(InlineScript):
+    """Utility script: records (path, body) of every API exchange —
+    the playbackMeta-dumping inline script is exactly this plus a
+    filter."""
+
+    def __init__(self, path_filter: Optional[Callable[[str], bool]] = None) -> None:
+        self.path_filter = path_filter
+        self.requests: List[dict] = []
+        self.responses: List[dict] = []
+
+    def request(self, flow: Flow) -> None:
+        if self.path_filter is None or self.path_filter(flow.request.path):
+            self.requests.append(
+                {"path": flow.request.path, "json": flow.request.json_body,
+                 "client": flow.client}
+            )
+        return None
+
+    def response(self, flow: Flow) -> None:
+        if self.path_filter is None or self.path_filter(flow.request.path):
+            self.responses.append(
+                {"path": flow.request.path,
+                 "status": int(flow.response.status) if flow.response else None,
+                 "json": flow.response.json_body if flow.response else None}
+            )
+        return None

@@ -1,0 +1,12 @@
+"""The study itself: configuration, QoE metrics and orchestration.
+
+This package is the reproduction of the paper's *methodology* — the
+quantities Section 5 defines (stall ratio, join time, playback latency,
+delivery latency) and the harnesses that generate the two datasets
+(service crawl; automated 60-second viewing sessions).
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.qoe import SessionQoE, stall_ratio
+
+__all__ = ["StudyConfig", "SessionQoE", "stall_ratio"]

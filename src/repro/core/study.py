@@ -1,0 +1,169 @@
+"""Dataset 2: the automated-viewing study (Section 5).
+
+Drives the adb Teleport loop against the simulated service: each session
+teleports to a (popularity-biased) random broadcast, watches 60 seconds,
+and records QoE.  The study alternates the two phones, advances the
+service world between sessions, and runs the ``tc`` bandwidth sweep the
+paper uses for Figures 3(b) and 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.automation.devices import GALAXY_S3, GALAXY_S4, DeviceProfile
+from repro.core.config import StudyConfig
+from repro.core.qoe import SessionQoE
+from repro.core.session import SessionArtifacts, SessionSetup, ViewingSession
+from repro.service.ingest import IngestPool
+from repro.service.selection import DeliveryProtocol, select_protocol
+from repro.service.world import ServiceWorld, WorldParameters
+from repro.util.rng import child_rng
+
+#: Wall time between session starts in the adb loop: 60 s watch + app
+#: navigation overhead.
+SESSION_CADENCE_S = 70.0
+
+
+@dataclass
+class StudyDataset:
+    """Everything the automated-viewing harness collected."""
+
+    sessions: List[SessionQoE] = field(default_factory=list)
+    #: Aggregate traffic facts per session (chat/avatar accounting).
+    avatar_bytes: List[int] = field(default_factory=list)
+    down_bytes: List[int] = field(default_factory=list)
+
+    def by_protocol(self, protocol: str) -> List[SessionQoE]:
+        return [s for s in self.sessions if s.protocol == protocol]
+
+    def by_device(self, device: str) -> List[SessionQoE]:
+        return [s for s in self.sessions if s.device == device]
+
+    def by_limit(self, limit_mbps: float) -> List[SessionQoE]:
+        return [s for s in self.sessions if s.bandwidth_limit_mbps == limit_mbps]
+
+    def extend(self, other: "StudyDataset") -> None:
+        self.sessions.extend(other.sessions)
+        self.avatar_bytes.extend(other.avatar_bytes)
+        self.down_bytes.extend(other.down_bytes)
+
+
+class AutomatedViewingStudy:
+    """The paper's measurement harness, reborn against the simulator."""
+
+    def __init__(self, config: StudyConfig) -> None:
+        self.config = config
+        self.world = ServiceWorld(
+            WorldParameters(mean_concurrent=config.scaled(config.concurrent_broadcasts,
+                                                          minimum=600)),
+            seed=config.seed,
+        )
+        self.ingest = IngestPool(child_rng(config.seed, "ingest-pool"))
+        self._teleport_rng = child_rng(config.seed, "teleport")
+        self._session_counter = 0
+        #: Recently watched ids, so the scaled-down world does not keep
+        #: resampling its handful of popular broadcasts.
+        self._recently_watched: List[str] = []
+
+    # ------------------------------------------------------------- sampling
+
+    def _next_setup(
+        self,
+        bandwidth_limit_mbps: float,
+        chat_ui_on: bool = True,
+        cache_avatars: bool = False,
+        forced_protocol: Optional[DeliveryProtocol] = None,
+    ) -> Optional[SessionSetup]:
+        """Advance the world one cadence step and teleport."""
+        self._session_counter += 1
+        self.world.advance_to(self.world.now + SESSION_CADENCE_S)
+        broadcast = self.world.teleport(
+            self._teleport_rng, exclude=set(self._recently_watched)
+        )
+        if broadcast is None:
+            return None
+        self._recently_watched.append(broadcast.broadcast_id)
+        if len(self._recently_watched) > 8:
+            self._recently_watched.pop(0)
+        age = self.world.now - broadcast.start_time
+        remaining = broadcast.end_time - self.world.now
+        if remaining < 5.0 or age <= 0.5:
+            # The app would land on a dying/new broadcast; the loop just
+            # teleports again, as ours does via the caller's retry.
+            return None
+        protocol = forced_protocol or select_protocol(
+            broadcast, self.world.now, self.config.hls_viewer_threshold
+        )
+        device = GALAXY_S3 if self._session_counter % 2 == 0 else GALAXY_S4
+        return SessionSetup(
+            broadcast=broadcast,
+            age_at_join=age,
+            protocol=protocol,
+            device=device,
+            bandwidth_limit_mbps=bandwidth_limit_mbps,
+            watch_seconds=self.config.watch_seconds,
+            chat_ui_on=chat_ui_on,
+            cache_avatars=cache_avatars,
+            seed=child_rng(self.config.seed, "session", self._session_counter)
+            .getrandbits(48),
+        )
+
+    def run_session(self, setup: SessionSetup) -> SessionArtifacts:
+        """Execute one prepared session."""
+        return ViewingSession(setup, ingest=self.ingest).run()
+
+    # ----------------------------------------------------------------- runs
+
+    def run_batch(
+        self,
+        n_sessions: int,
+        bandwidth_limit_mbps: float = 100.0,
+        chat_ui_on: bool = True,
+        cache_avatars: bool = False,
+        forced_protocol: Optional[DeliveryProtocol] = None,
+    ) -> StudyDataset:
+        """Run ``n_sessions`` Teleport sessions at one bandwidth limit."""
+        dataset = StudyDataset()
+        attempts = 0
+        while len(dataset.sessions) < n_sessions and attempts < n_sessions * 4:
+            attempts += 1
+            setup = self._next_setup(
+                bandwidth_limit_mbps,
+                chat_ui_on=chat_ui_on,
+                cache_avatars=cache_avatars,
+                forced_protocol=forced_protocol,
+            )
+            if setup is None:
+                continue
+            artifacts = self.run_session(setup)
+            dataset.sessions.append(artifacts.qoe)
+            dataset.avatar_bytes.append(artifacts.avatar_bytes)
+            dataset.down_bytes.append(artifacts.total_down_bytes)
+        return dataset
+
+    def run_unlimited(self, n_sessions: Optional[int] = None) -> StudyDataset:
+        """The unshaped dataset (paper: 1796 RTMP + 1586 HLS sessions)."""
+        count = n_sessions if n_sessions is not None else self.config.scaled(
+            self.config.rtmp_sessions_unlimited + self.config.hls_sessions_unlimited,
+            minimum=20,
+        )
+        return self.run_batch(count, bandwidth_limit_mbps=100.0)
+
+    def run_bandwidth_sweep(
+        self,
+        sessions_per_limit: Optional[int] = None,
+        limits_mbps: Optional[Sequence[float]] = None,
+    ) -> Dict[float, StudyDataset]:
+        """The tc sweep of Figures 3(b) and 4."""
+        per_limit = sessions_per_limit if sessions_per_limit is not None else max(
+            6, self.config.scaled(self.config.sessions_per_limit, minimum=6)
+        )
+        limits = list(limits_mbps if limits_mbps is not None
+                      else self.config.bandwidth_limits_mbps)
+        return {
+            limit: self.run_batch(per_limit, bandwidth_limit_mbps=limit)
+            for limit in limits
+        }

@@ -1,0 +1,30 @@
+"""Dataset 1: crawling the service for usage patterns (Section 4).
+
+The paper's crawler is a mitmproxy inline script replaying
+``/mapGeoBroadcastFeed`` with modified coordinates and intercepting
+``/getBroadcasts`` for viewer counts.  Ours runs the same logic over the
+simulated API:
+
+* :class:`~repro.crawler.deep.DeepCrawler` — recursive quadtree zoom of
+  the whole world until areas stop yielding substantially more
+  broadcasts (Fig. 1);
+* :class:`~repro.crawler.targeted.TargetedCrawl` — four identities
+  repeatedly polling the most active areas for hours (Fig. 2);
+* :mod:`repro.crawler.analysis` — duration/viewer/diurnal statistics.
+"""
+
+from repro.crawler.client import CrawlClient, CrawlHarness
+from repro.crawler.deep import DeepCrawler, DeepCrawlResult
+from repro.crawler.targeted import TargetedCrawl, TrackedBroadcast
+from repro.crawler.analysis import UsagePatterns, analyze_tracked
+
+__all__ = [
+    "CrawlClient",
+    "CrawlHarness",
+    "DeepCrawler",
+    "DeepCrawlResult",
+    "TargetedCrawl",
+    "TrackedBroadcast",
+    "UsagePatterns",
+    "analyze_tracked",
+]

@@ -1,0 +1,112 @@
+"""Usage-pattern analytics over crawled broadcasts (Fig. 2 and §4 text).
+
+Takes the :class:`~repro.crawler.targeted.TrackedBroadcast` records of a
+targeted crawl — or several concatenated crawls — and computes the
+published aggregates: the duration and viewer CDFs, the zero-viewer
+population and its properties, and the viewers-by-local-hour series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crawler.targeted import TrackedBroadcast
+from repro.util.empirical import Ecdf
+
+
+@dataclass
+class UsagePatterns:
+    """The Section 4 aggregates."""
+
+    n_broadcasts: int
+    n_with_viewer_info: int
+    duration_cdf: Ecdf
+    viewers_cdf: Ecdf
+    zero_viewer_fraction: float
+    zero_viewer_avg_duration_s: float
+    viewed_avg_duration_s: float
+    zero_viewer_no_replay_fraction: float
+    zero_viewer_time_share: float
+    #: hour -> mean of per-broadcast average viewers started that hour.
+    viewers_by_local_hour: Dict[int, float]
+
+    def summary_rows(self) -> List[Tuple[str, float]]:
+        """Key numbers in paper order, for bench output."""
+        return [
+            ("broadcasts tracked", float(self.n_broadcasts)),
+            ("with viewer info", float(self.n_with_viewer_info)),
+            ("median duration (min)", self.duration_cdf.quantile(0.5) / 60.0),
+            ("share shorter than 4 min", self.duration_cdf(240.0)),
+            ("share of viewers < 20", self.viewers_cdf(20.0)),
+            ("zero-viewer fraction", self.zero_viewer_fraction),
+            ("zero-viewer avg duration (min)", self.zero_viewer_avg_duration_s / 60.0),
+            ("viewed avg duration (min)", self.viewed_avg_duration_s / 60.0),
+            ("zero-viewer no-replay share", self.zero_viewer_no_replay_fraction),
+            ("zero-viewer time share", self.zero_viewer_time_share),
+        ]
+
+
+def _local_hour(tracked: TrackedBroadcast, utc_offsets: Optional[Dict[str, int]]) -> Optional[int]:
+    if tracked.start_time is None:
+        return None
+    offset = 0
+    if utc_offsets is not None:
+        offset = utc_offsets.get(tracked.broadcast_id, 0)
+    return int(((tracked.start_time / 3600.0) + offset) % 24)
+
+
+def analyze_tracked(
+    tracked: Sequence[TrackedBroadcast],
+    utc_offsets: Optional[Dict[str, int]] = None,
+) -> UsagePatterns:
+    """Compute the usage patterns from completed broadcasts.
+
+    ``utc_offsets`` maps broadcast id to the broadcaster's UTC offset —
+    in the paper this comes from the time zone in the description; our
+    descriptions carry coordinates, and the experiment driver resolves
+    them the same way.
+    """
+    if not tracked:
+        raise ValueError("no broadcasts to analyze")
+    durations = [t.duration_estimate() for t in tracked]
+    durations = [d for d in durations if d is not None and d > 0]
+    if not durations:
+        raise ValueError("no broadcasts with usable durations")
+    with_info = [t for t in tracked if t.viewer_samples]
+    viewer_avgs = [t.avg_viewers for t in with_info]
+
+    zero = [t for t in with_info if t.avg_viewers == 0.0]
+    viewed = [t for t in with_info if t.avg_viewers > 0.0]
+
+    def mean_duration(group: Sequence[TrackedBroadcast]) -> float:
+        values = [t.duration_estimate() or 0.0 for t in group]
+        values = [v for v in values if v > 0]
+        return sum(values) / len(values) if values else 0.0
+
+    zero_time = sum(t.duration_estimate() or 0.0 for t in zero)
+    total_time = sum(t.duration_estimate() or 0.0 for t in with_info)
+
+    by_hour: Dict[int, List[float]] = {}
+    for t in with_info:
+        hour = _local_hour(t, utc_offsets)
+        if hour is not None:
+            by_hour.setdefault(hour, []).append(t.avg_viewers)
+    viewers_by_hour = {
+        hour: sum(vals) / len(vals) for hour, vals in sorted(by_hour.items())
+    }
+
+    no_replay = [t for t in zero if t.available_for_replay is False]
+
+    return UsagePatterns(
+        n_broadcasts=len(tracked),
+        n_with_viewer_info=len(with_info),
+        duration_cdf=Ecdf(durations),
+        viewers_cdf=Ecdf(viewer_avgs) if viewer_avgs else Ecdf([0.0]),
+        zero_viewer_fraction=len(zero) / len(with_info) if with_info else 0.0,
+        zero_viewer_avg_duration_s=mean_duration(zero),
+        viewed_avg_duration_s=mean_duration(viewed),
+        zero_viewer_no_replay_fraction=(len(no_replay) / len(zero)) if zero else 0.0,
+        zero_viewer_time_share=(zero_time / total_time) if total_time else 0.0,
+        viewers_by_local_hour=viewers_by_hour,
+    )

@@ -1,0 +1,137 @@
+"""Crawler transport: emulator identities talking to the API over the
+simulated network.
+
+Each identity is one Genymotion emulator with its own login — its own
+HTTP stream and, crucially, its own rate-limit bucket (running four of
+them in parallel is how the paper got the targeted crawl under a minute
+per round).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.netsim.duplex import DuplexStream
+from repro.netsim.events import EventLoop
+from repro.netsim.topology import Network
+from repro.protocols.http import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    HttpStatus,
+)
+from repro.service.api import API_PATH, ApiServer, RateLimiter
+from repro.service.geo import GeoPoint, GeoRect
+from repro.service.ingest import IngestPool
+from repro.service.world import ServiceWorld, WorldParameters
+from repro.util.rng import child_rng
+
+#: Emulators sat in Finland next to the phones.
+CRAWLER_LOCATION = GeoPoint(60.2, 24.9)
+
+ApiCallback = Callable[[HttpResponse, float], None]
+
+
+class CrawlClient:
+    """One crawler identity: issues apiRequest commands, honours 429s.
+
+    On a 429 the request is retried after ``backoff_s``; successful
+    requests are spaced ``pace_s`` apart.  This mirrors the paper's
+    pacing, which is what pushes a deep crawl beyond 10 minutes.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        http: HttpClient,
+        identity: str,
+        pace_s: float = 0.85,
+        backoff_s: float = 2.0,
+    ) -> None:
+        self.loop = loop
+        self.http = http
+        self.identity = identity
+        self.pace_s = pace_s
+        self.backoff_s = backoff_s
+        self.requests_sent = 0
+        self.throttled = 0
+
+    def call(self, command: str, payload: Dict[str, Any], callback: ApiCallback) -> None:
+        """Issue one API command now (no pacing — callers schedule)."""
+        body = {"request": command}
+        body.update(payload)
+        self.requests_sent += 1
+
+        def on_response(response: HttpResponse, now: float) -> None:
+            if response.status == HttpStatus.TOO_MANY_REQUESTS:
+                self.throttled += 1
+                self.loop.schedule(
+                    self.backoff_s, lambda: self.call(command, payload, callback)
+                )
+                return
+            callback(response, now)
+
+        self.http.request(
+            HttpRequest("POST", API_PATH, json_body=body), on_response
+        )
+
+    def map_query(self, rect: GeoRect, callback: ApiCallback) -> None:
+        """One /mapGeoBroadcastFeed for ``rect`` (live only)."""
+        self.call(
+            "mapGeoBroadcastFeed",
+            {
+                "p1_lat": rect.south,
+                "p1_lng": rect.west,
+                "p2_lat": rect.north,
+                "p2_lng": rect.east,
+                "include_replay": False,
+            },
+            callback,
+        )
+
+    def get_broadcasts(self, ids: List[str], callback: ApiCallback) -> None:
+        """One /getBroadcasts for up to ~100 ids."""
+        self.call("getBroadcasts", {"broadcast_ids": ids}, callback)
+
+
+class CrawlHarness:
+    """World + API + N crawler identities on one event loop."""
+
+    def __init__(
+        self,
+        seed: int,
+        mean_concurrent: int = 2500,
+        identities: int = 1,
+        rate_limiter: Optional[RateLimiter] = None,
+    ) -> None:
+        self.loop = EventLoop()
+        self.world = ServiceWorld(
+            WorldParameters(mean_concurrent=mean_concurrent), seed=seed
+        )
+        self.api = ApiServer(
+            self.world,
+            IngestPool(child_rng(seed, "crawl-ingest")),
+            clock=lambda: self.loop.now,
+            rng=child_rng(seed, "crawl-api"),
+            rate_limiter=rate_limiter or RateLimiter(),
+        )
+        net = Network(self.loop)
+        emulator = net.host("emulator")
+        api_host = net.host("api")
+        net.duplex(emulator, api_host, rate_bps=100e6, delay_s=0.040)
+        self.clients: List[CrawlClient] = []
+        for index in range(identities):
+            stream = DuplexStream(
+                self.loop, net, "emulator", "api", name=f"crawler-{index}"
+            )
+            identity = f"crawler-{index}"
+            HttpServer(self.loop, stream, self.api.handle, client_label=identity,
+                       processing_delay_s=0.020)
+            self.clients.append(
+                CrawlClient(self.loop, HttpClient(self.loop, stream), identity)
+            )
+
+    def run_until(self, t: float) -> None:
+        self.loop.run_until(t)

@@ -1,0 +1,29 @@
+"""Smartphone power modelling (Section 5.3, Figure 7).
+
+The paper measured a Galaxy S4 on a Monsoon power monitor across seven
+app states over WiFi and LTE.  This package provides:
+
+* :mod:`repro.energy.components` — component power models (platform,
+  screen, CPU/GPU under DVFS, hardware codec, camera, WiFi/LTE radios
+  with duty cycling);
+* :mod:`repro.energy.states` — the seven measured app states expressed
+  as component operating points, with the chat state applying the
+  paper's observed "+1/3 CPU and GPU clocks" and avatar-traffic surge;
+* :mod:`repro.energy.monsoon` — a Monsoon-like sampler that integrates
+  the model over time with measurement noise and exports PowerTool-style
+  traces.
+"""
+
+from repro.energy.components import ComponentPowerModel, Radio
+from repro.energy.states import APP_STATES, AppState, state_power_mw
+from repro.energy.monsoon import MonsoonMonitor, PowerTrace
+
+__all__ = [
+    "ComponentPowerModel",
+    "Radio",
+    "APP_STATES",
+    "AppState",
+    "state_power_mw",
+    "MonsoonMonitor",
+    "PowerTrace",
+]

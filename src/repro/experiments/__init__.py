@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes a ``run(workbench)`` function returning a result
+object with a ``render()`` method that prints the same rows/series the
+paper's figure shows, plus the headline numbers for EXPERIMENTS.md.
+Drivers share one :class:`~repro.experiments.common.Workbench`, which
+caches the expensive dataset generations (crawls, session batches) at a
+configured scale.
+"""
+
+from repro.experiments.common import Workbench
+
+__all__ = ["Workbench"]

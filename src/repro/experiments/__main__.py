@@ -1,0 +1,88 @@
+"""Command-line figure regeneration.
+
+Run any paper table/figure from the shell::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig3 --seed 7 --sessions 40
+    python -m repro.experiments all
+
+Workbench-backed figures share one dataset per invocation; sizes are
+laptop-scale by default and adjustable with the flags below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    fig1_crawl,
+    fig2_usage,
+    fig3_stalls,
+    fig4_latency,
+    fig5_delivery,
+    fig6_quality,
+    fig7_power,
+    sec5_protocol,
+    sec5_ttests,
+    sec51_chat,
+    sec52_codecs,
+    table1_api,
+)
+from repro.experiments.common import Workbench
+
+#: name -> (needs_workbench, runner)
+DRIVERS: Dict[str, tuple] = {
+    "table1": (False, lambda wb, seed: table1_api.run(seed=seed)),
+    "fig1": (True, lambda wb, seed: fig1_crawl.run(wb)),
+    "fig2": (True, lambda wb, seed: fig2_usage.run(wb)),
+    "fig3": (True, lambda wb, seed: fig3_stalls.run(wb)),
+    "fig4": (True, lambda wb, seed: fig4_latency.run(wb)),
+    "fig5": (True, lambda wb, seed: fig5_delivery.run(wb)),
+    "fig6": (True, lambda wb, seed: fig6_quality.run(wb)),
+    "fig7": (False, lambda wb, seed: fig7_power.run(seed=seed)),
+    "ttests": (True, lambda wb, seed: sec5_ttests.run(wb)),
+    "protocol": (True, lambda wb, seed: sec5_protocol.run(wb)),
+    "chat": (False, lambda wb, seed: sec51_chat.run(seed=seed)),
+    "codecs": (False, lambda wb, seed: sec52_codecs.run(seed=seed)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("figure", choices=sorted(DRIVERS) + ["all", "list"],
+                        help="which experiment to run")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--sessions", type=int, default=90,
+                        help="unlimited-bandwidth session count")
+    parser.add_argument("--per-limit", type=int, default=6,
+                        help="sessions per bandwidth limit in the sweep")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        for name in sorted(DRIVERS):
+            print(name)
+        return 0
+    workbench = Workbench(
+        seed=args.seed,
+        unlimited_sessions=args.sessions,
+        sweep_sessions_per_limit=args.per_limit,
+    )
+    names = sorted(DRIVERS) if args.figure == "all" else [args.figure]
+    for name in names:
+        _, runner = DRIVERS[name]
+        print(f"=== {name} ===")
+        print(runner(workbench, args.seed).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI test
+    sys.exit(main())

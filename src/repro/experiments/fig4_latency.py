@@ -1,0 +1,70 @@
+"""Figure 4: join time and playback latency vs bandwidth limit (RTMP).
+
+Both grow when bandwidth is limited; join time grows dramatically at
+2 Mbps and below.  Unlimited playback latency is "roughly a few
+seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.charts import render_boxplot_rows
+from repro.experiments.common import Workbench
+from repro.util.empirical import FiveNumberSummary, five_number_summary
+
+
+@dataclass
+class Fig4Result:
+    join_by_limit: Dict[float, List[float]]
+    latency_by_limit: Dict[float, List[float]]
+
+    def join_boxplots(self) -> Dict[str, FiveNumberSummary]:
+        return {
+            f"{limit:g}": five_number_summary(values)
+            for limit, values in sorted(self.join_by_limit.items())
+            if values
+        }
+
+    def latency_boxplots(self) -> Dict[str, FiveNumberSummary]:
+        return {
+            f"{limit:g}": five_number_summary(values)
+            for limit, values in sorted(self.latency_by_limit.items())
+            if values
+        }
+
+    def median_join(self, limit: float) -> float:
+        return five_number_summary(self.join_by_limit[limit]).median
+
+    def median_latency(self, limit: float) -> float:
+        return five_number_summary(self.latency_by_limit[limit]).median
+
+    def render(self) -> str:
+        parts = ["Fig 4(a): join time (s) vs bandwidth limit (Mbps)"]
+        parts.append(render_boxplot_rows(self.join_boxplots(), "join time (s)"))
+        parts.append("")
+        parts.append("Fig 4(b): playback latency (s) vs bandwidth limit (Mbps)")
+        parts.append(render_boxplot_rows(self.latency_boxplots(), "latency (s)"))
+        return "\n".join(parts)
+
+
+def run(workbench: Workbench) -> Fig4Result:
+    sweep = workbench.sweep()
+    unlimited = workbench.unlimited()
+    join_by_limit: Dict[float, List[float]] = {}
+    latency_by_limit: Dict[float, List[float]] = {}
+    for limit, ds in sweep.items():
+        rtmp = ds.by_protocol("rtmp")
+        join_by_limit[limit] = [s.join_time_s for s in rtmp]
+        latency_by_limit[limit] = [
+            s.playback_latency_s for s in rtmp if s.playback_latency_s is not None
+        ]
+    # Merge the (large) unlimited dataset into the 100 Mbps bucket, as the
+    # paper's "100" column is the unlimited case.
+    rtmp_unlimited = unlimited.by_protocol("rtmp")
+    join_by_limit.setdefault(100.0, []).extend(s.join_time_s for s in rtmp_unlimited)
+    latency_by_limit.setdefault(100.0, []).extend(
+        s.playback_latency_s for s in rtmp_unlimited if s.playback_latency_s is not None
+    )
+    return Fig4Result(join_by_limit=join_by_limit, latency_by_limit=latency_by_limit)

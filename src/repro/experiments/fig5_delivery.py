@@ -1,0 +1,71 @@
+"""Figure 5: video delivery latency, HLS vs RTMP.
+
+The NTP-timestamp method: the broadcaster embeds wall-clock stamps into
+the video; subtracting them from the capture timestamp gives the
+network-pipeline delay excluding playout buffering.  RTMP delivers in
+under 300 ms for 75% of broadcasts; HLS averages above 5 s; clock-sync
+imperfection yields occasional small negative samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.charts import render_cdf
+from repro.experiments.common import Workbench
+from repro.util.empirical import Ecdf
+
+CDF_GRID = (0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 5.0, 10.0, 20.0)
+
+
+@dataclass
+class Fig5Result:
+    rtmp_latencies: List[float]
+    hls_latencies: List[float]
+
+    def rtmp_cdf(self) -> Ecdf:
+        return Ecdf(self.rtmp_latencies)
+
+    def hls_cdf(self) -> Ecdf:
+        return Ecdf(self.hls_latencies)
+
+    def rtmp_p75(self) -> float:
+        return self.rtmp_cdf().quantile(0.75)
+
+    def hls_mean(self) -> float:
+        return sum(self.hls_latencies) / len(self.hls_latencies)
+
+    def has_negative_samples(self) -> bool:
+        """Clock-sync imperfection artifact the paper reports."""
+        return any(v < 0 for v in self.rtmp_latencies)
+
+    def render(self) -> str:
+        parts = ["Fig 5: video delivery latency CDF (per-broadcast averages)"]
+        parts.append(render_cdf(
+            {"RTMP": self.rtmp_cdf(), "HLS": self.hls_cdf()},
+            CDF_GRID, "delivery latency (s)",
+        ))
+        parts.append(
+            f"RTMP p75 = {self.rtmp_p75() * 1000:.0f} ms; "
+            f"HLS mean = {self.hls_mean():.1f} s; "
+            f"negative samples observed: {self.has_negative_samples()}"
+        )
+        return "\n".join(parts)
+
+
+def run(workbench: Workbench) -> Fig5Result:
+    unlimited = workbench.unlimited()
+    rtmp = [
+        s.delivery_latency_s
+        for s in unlimited.by_protocol("rtmp")
+        if s.delivery_latency_s is not None
+    ]
+    hls = [
+        s.delivery_latency_s
+        for s in unlimited.by_protocol("hls")
+        if s.delivery_latency_s is not None
+    ]
+    if not rtmp or not hls:
+        raise RuntimeError("dataset too small: missing a protocol population")
+    return Fig5Result(rtmp_latencies=rtmp, hls_latencies=hls)

@@ -1,0 +1,86 @@
+"""Figure 6: captured-video characteristics.
+
+Panel (a): per-stream average video bitrate CDFs, by protocol — the bulk
+between 200 and 400 kbps, nearly identical curves, with a higher maximum
+on RTMP (intra-only encodings).  Panel (b): average QP vs bitrate — at a
+fixed QP the bitrate spans a wide range because content complexity
+differs wildly between broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.charts import render_cdf, render_scatter_summary
+from repro.experiments.common import Workbench
+from repro.util.empirical import Ecdf
+
+CDF_GRID_BPS = (100e3, 200e3, 300e3, 400e3, 500e3, 750e3, 1000e3, 1250e3)
+QP_BINS = ((0.0, 200e3), (200e3, 300e3), (300e3, 400e3), (400e3, 600e3),
+           (600e3, 1300e3))
+
+
+@dataclass
+class Fig6Result:
+    rtmp_bitrates: List[float]
+    hls_bitrates: List[float]
+    #: (bitrate, avg QP) per captured stream, both protocols.
+    qp_points: List[Tuple[float, float]]
+
+    def rtmp_cdf(self) -> Ecdf:
+        return Ecdf(self.rtmp_bitrates)
+
+    def hls_cdf(self) -> Ecdf:
+        return Ecdf(self.hls_bitrates)
+
+    def typical_band_share(self) -> float:
+        """Share of all streams in the 200-400 kbps band... loosely
+        (the paper: "typically ranging between 200 and 400 kbps")."""
+        rates = self.rtmp_bitrates + self.hls_bitrates
+        return sum(1 for r in rates if 150e3 <= r <= 450e3) / len(rates)
+
+    def qp_spread_at_fixed_quality(self) -> float:
+        """Max/min bitrate ratio among streams within +-2 QP of the
+        median QP — Fig. 6(b)'s 'same QP, wide bitrate range'."""
+        qps = sorted(q for _, q in self.qp_points)
+        median_qp = qps[len(qps) // 2]
+        band = [b for b, q in self.qp_points if abs(q - median_qp) <= 2.0]
+        if len(band) < 2:
+            return 1.0
+        return max(band) / min(band)
+
+    def render(self) -> str:
+        parts = ["Fig 6(a): video bitrate CDF by protocol"]
+        parts.append(render_cdf(
+            {"HLS": self.hls_cdf(), "RTMP": self.rtmp_cdf()},
+            CDF_GRID_BPS, "bitrate (bps)",
+        ))
+        parts.append(f"share in 150-450 kbps band: {self.typical_band_share():.2f}; "
+                     f"RTMP max {max(self.rtmp_bitrates) / 1e3:.0f} kbps vs "
+                     f"HLS max {max(self.hls_bitrates) / 1e3:.0f} kbps")
+        parts.append("")
+        parts.append("Fig 6(b): avg QP vs bitrate")
+        parts.append(render_scatter_summary(
+            self.qp_points, "bitrate (bps)", "avg QP", QP_BINS))
+        parts.append(
+            f"bitrate spread at fixed QP (max/min within ±2 QP of median): "
+            f"{self.qp_spread_at_fixed_quality():.1f}x"
+        )
+        return "\n".join(parts)
+
+
+def run(workbench: Workbench) -> Fig6Result:
+    unlimited = workbench.unlimited()
+    rtmp, hls, points = [], [], []
+    for session in unlimited.sessions:
+        if session.video_bitrate_bps is None or session.avg_qp is None:
+            continue
+        points.append((session.video_bitrate_bps, session.avg_qp))
+        if session.protocol == "rtmp":
+            rtmp.append(session.video_bitrate_bps)
+        else:
+            hls.append(session.video_bitrate_bps)
+    if not rtmp or not hls:
+        raise RuntimeError("dataset too small: missing a protocol population")
+    return Fig6Result(rtmp_bitrates=rtmp, hls_bitrates=hls, qp_points=points)

@@ -1,0 +1,80 @@
+"""Section 5.1's chat traffic experiment.
+
+The paper measured the same popular broadcast with chat off and on and
+saw the aggregate data rate jump from ~500 kbps to ~3.5 Mbps, caused by
+uncached profile-picture downloads from S3.  This driver runs matched
+chat-on / chat-off / chat-on-with-cache sessions on a popular broadcast
+and accounts the traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.charts import render_table
+from repro.automation.devices import GALAXY_S4
+from repro.core.session import SessionSetup, ViewingSession
+from repro.service.broadcast import sample_broadcast
+from repro.service.geo import POPULATION_CENTERS, GeoPoint
+from repro.service.selection import DeliveryProtocol
+
+
+@dataclass
+class ChatTrafficResult:
+    chat_off_bps: float
+    chat_on_bps: float
+    chat_on_cached_bps: float
+    avatar_requests: int
+    duplicate_downloads: int
+    avatar_bytes: int
+
+    @property
+    def amplification(self) -> float:
+        return self.chat_on_bps / self.chat_off_bps if self.chat_off_bps else 0.0
+
+    def render(self) -> str:
+        rows = [
+            ["chat off", f"{self.chat_off_bps / 1e3:.0f} kbps"],
+            ["chat on", f"{self.chat_on_bps / 1e3:.0f} kbps"],
+            ["chat on + avatar cache", f"{self.chat_on_cached_bps / 1e3:.0f} kbps"],
+            ["amplification", f"{self.amplification:.1f}x"],
+            ["avatar requests (chat on)", str(self.avatar_requests)],
+            ["duplicate avatar downloads", str(self.duplicate_downloads)],
+            ["avatar bytes", f"{self.avatar_bytes / 1e6:.2f} MB"],
+        ]
+        return render_table(["measurement", "value"], rows)
+
+
+def _session(seed: int, chat_ui_on: bool, cache: bool, viewers: float):
+    broadcast = sample_broadcast(
+        random.Random(seed), 0.0, GeoPoint(41.0, 28.9), POPULATION_CENTERS[17]
+    )
+    broadcast.mean_viewers = viewers
+    broadcast.duration_s = 7200.0
+    setup = SessionSetup(
+        broadcast=broadcast,
+        age_at_join=900.0,
+        protocol=DeliveryProtocol.HLS,
+        device=GALAXY_S4,
+        watch_seconds=60.0,
+        chat_ui_on=chat_ui_on,
+        cache_avatars=cache,
+        seed=seed,
+    )
+    return ViewingSession(setup).run()
+
+
+def run(seed: int = 2016, viewers: float = 3000.0) -> ChatTrafficResult:
+    off = _session(seed, chat_ui_on=False, cache=False, viewers=viewers)
+    on = _session(seed, chat_ui_on=True, cache=False, viewers=viewers)
+    cached = _session(seed, chat_ui_on=True, cache=True, viewers=viewers)
+    watch = 60.0
+    return ChatTrafficResult(
+        chat_off_bps=off.total_down_bytes * 8.0 / watch,
+        chat_on_bps=on.total_down_bytes * 8.0 / watch,
+        chat_on_cached_bps=cached.total_down_bytes * 8.0 / watch,
+        avatar_requests=on.avatar_requests,
+        duplicate_downloads=on.duplicate_avatar_downloads,
+        avatar_bytes=on.avatar_bytes,
+    )

@@ -1,0 +1,51 @@
+"""Frame records produced by the encoder models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Periscope always streams 320x568 (or transposed), Section 5.2.
+VIDEO_RESOLUTION: Tuple[int, int] = (320, 568)
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One encoded video frame.
+
+    ``pts`` is presentation time, ``dts`` decode/transmission time — they
+    differ when B frames reorder (a B frame is transmitted after the
+    following reference frame it depends on).  Both are media-time seconds
+    since stream start.
+    """
+
+    index: int
+    pts: float
+    dts: float
+    frame_type: str  # "I", "P" or "B"
+    nbytes: int
+    qp: float
+    complexity: float
+    #: Wall-clock capture time the broadcaster embeds into the video data
+    #: roughly once per second (the paper's delivery-latency hook).  None
+    #: on frames without an embedded timestamp.
+    ntp_timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.frame_type not in ("I", "P", "B"):
+            raise ValueError(f"unknown frame type {self.frame_type!r}")
+        if self.nbytes <= 0:
+            raise ValueError("frames must have positive size")
+
+
+@dataclass(frozen=True)
+class AudioFrame:
+    """One encoded AAC-like audio frame (1024 samples at 44.1 kHz)."""
+
+    index: int
+    pts: float
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("audio frames must have positive size")

@@ -1,0 +1,119 @@
+"""Event loop for the discrete-event simulation.
+
+A classic calendar queue on :mod:`heapq`.  Simulated time is a float in
+seconds, starts at 0 and only moves forward.  Events scheduled for the
+same instant fire in scheduling order (a monotonically increasing
+sequence number breaks ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventLoop.schedule` so the
+    caller can :meth:`cancel` it."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+        self.callback = None
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far (diagnostics)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback)
+
+    def _pop_next(self) -> Optional[Event]:
+        while self._queue:
+            _, _, event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is
+        empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        callback, event.callback = event.callback, None
+        self._processed += 1
+        assert callback is not None
+        callback()
+        return True
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Run until no events remain.
+
+        ``max_events`` is a runaway guard; exceeding it raises
+        :class:`RuntimeError` rather than hanging the host process.
+        """
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"event loop exceeded {max_events} events")
+
+    def run_until(self, time: float, max_events: int = 50_000_000) -> None:
+        """Run events with timestamps ``<= time``; afterwards ``now`` equals
+        ``time`` even if the queue went empty earlier."""
+        if time < self._now:
+            raise ValueError("cannot run backwards in time")
+        for _ in range(max_events):
+            # Purge cancelled entries so the peeked head is a live event —
+            # otherwise step() could skip past the deadline.
+            while self._queue and self._queue[0][2].cancelled:
+                heapq.heappop(self._queue)
+            if not self._queue:
+                break
+            next_time = self._queue[0][0]
+            if next_time > time:
+                break
+            if not self.step():
+                break
+        else:
+            raise RuntimeError(f"event loop exceeded {max_events} events")
+        self._now = time
+
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for _, _, e in self._queue if not e.cancelled)

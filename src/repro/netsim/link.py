@@ -1,0 +1,134 @@
+"""Links: rate-limited, delayed, FIFO packet conduits.
+
+A link serializes packets at ``rate_bps`` and delivers each after a fixed
+propagation delay.  Because all flows traversing a link share one FIFO
+serialization queue, bandwidth sharing and cross-traffic interference
+(e.g. chat avatar downloads delaying video packets) emerge naturally.
+
+:class:`TokenBucketShaper` models the ``tc`` token-bucket filter the paper
+used on the tethering host to impose artificial bandwidth limits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Packet
+
+PacketSink = Callable[[Packet], None]
+PacketTap = Callable[[Packet, float], None]
+
+
+class Link:
+    """Unidirectional link with serialization rate and propagation delay.
+
+    ``deliver`` is called with each packet once it has fully crossed the
+    link.  Observers registered with :meth:`tap` see packets at the moment
+    they *enter* the link (like tcpdump on the sending interface).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rate_bps: float,
+        delay_s: float,
+        name: str = "link",
+        shaper: Optional["TokenBucketShaper"] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_s < 0:
+            raise ValueError("link delay must be non-negative")
+        self.loop = loop
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.name = name
+        self.shaper = shaper
+        self.deliver: Optional[PacketSink] = None
+        self._busy_until = 0.0
+        self._taps: List[PacketTap] = []
+        self.bytes_carried = 0
+        self.packets_carried = 0
+
+    def tap(self, observer: PacketTap) -> None:
+        """Register a capture observer (tcpdump-like, ingress side)."""
+        self._taps.append(observer)
+
+    def untap(self, observer: PacketTap) -> None:
+        """Remove a previously registered observer."""
+        self._taps.remove(observer)
+
+    def utilization_until_now(self) -> float:
+        """Fraction of elapsed time the transmitter has been busy."""
+        if self.loop.now <= 0:
+            return 0.0
+        busy = min(self._busy_until, self.loop.now)
+        return (self.bytes_carried * 8.0 / self.rate_bps) / self.loop.now if busy else 0.0
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission."""
+        now = self.loop.now
+        for observer in self._taps:
+            observer(packet, now)
+        start = max(now, self._busy_until)
+        if self.shaper is not None:
+            start = max(start, self.shaper.earliest_start(packet.wire_bytes, start))
+            self.shaper.consume(packet.wire_bytes, start)
+        tx_time = packet.wire_bytes * 8.0 / self.rate_bps
+        self._busy_until = start + tx_time
+        self.bytes_carried += packet.wire_bytes
+        self.packets_carried += 1
+        arrival = self._busy_until + self.delay_s
+        self.loop.schedule_at(arrival, lambda p=packet: self._arrive(p))
+
+    def _arrive(self, packet: Packet) -> None:
+        if self.deliver is None:
+            raise RuntimeError(f"link {self.name!r} has no downstream sink")
+        self.deliver(packet)
+
+    @property
+    def queue_delay_now(self) -> float:
+        """Time a packet arriving now would wait before transmission."""
+        return max(0.0, self._busy_until - self.loop.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name!r}, {self.rate_bps / 1e6:.2f} Mbps, {self.delay_s * 1e3:.1f} ms)"
+
+
+class TokenBucketShaper:
+    """Token-bucket rate limiter, the model of ``tc ... tbf``.
+
+    Tokens accrue at ``rate_bps``; a packet may start transmission once the
+    bucket holds its full wire size.  The bucket depth bounds burst size.
+    """
+
+    def __init__(self, rate_bps: float, bucket_bytes: int) -> None:
+        if rate_bps <= 0:
+            raise ValueError("shaper rate must be positive")
+        if bucket_bytes <= 0:
+            raise ValueError("bucket must hold at least one byte")
+        self.rate_bps = rate_bps
+        self.bucket_bytes = bucket_bytes
+        self._tokens = float(bucket_bytes)
+        self._last_update = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_update)
+        self._tokens = min(
+            float(self.bucket_bytes), self._tokens + elapsed * self.rate_bps / 8.0
+        )
+        self._last_update = now
+
+    def earliest_start(self, nbytes: int, now: float) -> float:
+        """Earliest time a packet of ``nbytes`` may begin transmission."""
+        self._refill(now)
+        if self._tokens >= nbytes:
+            return now
+        deficit = nbytes - self._tokens
+        return now + deficit * 8.0 / self.rate_bps
+
+    def consume(self, nbytes: int, when: float) -> None:
+        """Debit the bucket for a packet that starts at ``when``."""
+        self._refill(when)
+        self._tokens -= nbytes

@@ -1,0 +1,22 @@
+"""The viewer's player: playout buffering, stalls, join and latency.
+
+Implements both receive paths the Periscope app uses — RTMP push with a
+small jitter buffer, and HLS segment fetching against the CDN's live
+window — over one shared :class:`~repro.player.buffer.PlayoutBuffer`
+that does the QoE accounting (join time, stall events, playback
+latency), exactly the quantities the app's ``playbackMeta`` upload and
+the paper's post-processing report.
+"""
+
+from repro.player.buffer import PlaybackReport, PlayoutBuffer
+from repro.player.rtmp_player import RtmpPlayer
+from repro.player.hls_player import HlsPlayer
+from repro.player.chat_client import ChatClient
+
+__all__ = [
+    "PlaybackReport",
+    "PlayoutBuffer",
+    "RtmpPlayer",
+    "HlsPlayer",
+    "ChatClient",
+]

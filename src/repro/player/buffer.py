@@ -1,0 +1,223 @@
+"""The playout buffer and its QoE accounting.
+
+Media availability is a single monotone frontier ``buffered_until`` (the
+player conceals isolated missing frames, so playability is contiguous).
+Playback starts once ``start_threshold_s`` of media is buffered, stalls
+whenever the playhead catches the frontier, and resumes once
+``rebuffer_threshold_s`` accumulates again.
+
+The buffer also derives **playback latency**: while playing, the wall
+clock and the playhead advance in lockstep, so each playing interval has
+a constant end-to-end latency ``t - (broadcast_start + playhead(t))``;
+the session value is the time-weighted mean over playing intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.qoe import StallEvent
+from repro.netsim.events import Event, EventLoop
+
+
+@dataclass
+class PlaybackReport:
+    """What one session's buffer observed (app's playbackMeta equivalent)."""
+
+    started: bool
+    join_time_s: float
+    playback_s: float
+    stalls: List[StallEvent]
+    mean_playback_latency_s: Optional[float]
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+    @property
+    def total_stall_s(self) -> float:
+        return sum(s.duration for s in self.stalls)
+
+
+class PlayoutBuffer:
+    """Event-driven playout model over a session's event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        start_threshold_s: float,
+        rebuffer_threshold_s: float,
+        broadcast_start: float,
+        session_start: float = 0.0,
+    ) -> None:
+        if start_threshold_s <= 0 or rebuffer_threshold_s <= 0:
+            raise ValueError("thresholds must be positive")
+        self.loop = loop
+        self.start_threshold_s = start_threshold_s
+        self.rebuffer_threshold_s = rebuffer_threshold_s
+        self.broadcast_start = broadcast_start
+        self.session_start = session_start
+
+        self._buffered_until: Optional[float] = None  # media frontier (pts)
+        self._play_origin: Optional[float] = None     # pts where playback begins
+        self._playing = False
+        self._started_at: Optional[float] = None
+        self._anchor_media = 0.0   # playhead pts at _anchor_time
+        self._anchor_time = 0.0
+        self._stall_event: Optional[Event] = None
+        self._stall_started_at: Optional[float] = None
+        self._stalls: List[StallEvent] = []
+        #: (duration, latency) per completed playing interval.
+        self._intervals: List[Tuple[float, float]] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------- ingestion
+
+    def on_media(self, upto_pts: float) -> None:
+        """The playable frontier grew to ``upto_pts`` (monotone max)."""
+        if self._finalized:
+            return
+        if self._buffered_until is None:
+            self._buffered_until = upto_pts
+            self._play_origin = upto_pts  # refined by first add below
+        if upto_pts <= self._buffered_until and self._playing:
+            return
+        self._buffered_until = max(self._buffered_until, upto_pts)
+        if not self._playing:
+            self._maybe_start_or_resume()
+        else:
+            self._reschedule_underrun()
+
+    def set_play_origin(self, pts: float) -> None:
+        """Pin where the playhead will start (e.g. an HLS segment start).
+
+        Must be called before playback starts; by default the origin is
+        the first media frontier seen.
+        """
+        if self._started_at is not None:
+            raise RuntimeError("playback already started")
+        self._play_origin = pts
+        if self._buffered_until is None:
+            self._buffered_until = pts
+
+    # -------------------------------------------------------------- playback
+
+    def _playhead(self, now: float) -> float:
+        if not self._playing:
+            return self._anchor_media
+        return self._anchor_media + (now - self._anchor_time)
+
+    @property
+    def buffered_until(self) -> Optional[float]:
+        return self._buffered_until
+
+    @property
+    def playing(self) -> bool:
+        return self._playing
+
+    def buffer_level_s(self) -> float:
+        """Seconds of playable media ahead of the playhead."""
+        if self._buffered_until is None:
+            return 0.0
+        return max(0.0, self._buffered_until - self._playhead(self.loop.now))
+
+    def _maybe_start_or_resume(self) -> None:
+        assert self._buffered_until is not None
+        now = self.loop.now
+        if self._started_at is None:
+            assert self._play_origin is not None
+            if self._buffered_until - self._play_origin >= self.start_threshold_s:
+                self._started_at = now
+                self._anchor_media = self._play_origin
+                self._begin_playing(now)
+        elif self._stall_started_at is not None:
+            if self._buffered_until - self._anchor_media >= self.rebuffer_threshold_s:
+                self._stalls.append(
+                    StallEvent(
+                        start=self._stall_started_at,
+                        duration=now - self._stall_started_at,
+                    )
+                )
+                self._stall_started_at = None
+                self._begin_playing(now)
+
+    def _begin_playing(self, now: float) -> None:
+        self._playing = True
+        self._anchor_time = now
+        self._reschedule_underrun()
+
+    def _reschedule_underrun(self) -> None:
+        if self._stall_event is not None:
+            self._stall_event.cancel()
+            self._stall_event = None
+        if not self._playing:
+            return
+        assert self._buffered_until is not None
+        underrun_at = self._anchor_time + (self._buffered_until - self._anchor_media)
+        self._stall_event = self.loop.schedule_at(
+            max(underrun_at, self.loop.now), self._on_underrun
+        )
+
+    def _on_underrun(self) -> None:
+        now = self.loop.now
+        self._close_interval(now)
+        self._playing = False
+        self._anchor_media = self._buffered_until if self._buffered_until is not None else 0.0
+        self._stall_started_at = now
+        self._stall_event = None
+
+    def _close_interval(self, now: float) -> None:
+        duration = now - self._anchor_time
+        if duration > 0:
+            latency = self._anchor_time - self._anchor_media - self.broadcast_start
+            self._intervals.append((duration, latency))
+
+    # ------------------------------------------------------------- reporting
+
+    def finalize(self, end_time: float) -> PlaybackReport:
+        """Stop the clock at ``end_time`` and produce the session report.
+
+        A stall in progress runs to the end of the session; a session that
+        never started playing is all join time (the paper computes join
+        time as 60 s minus playback and stall time, so an unstarted
+        session has join time 60 s).
+        """
+        if self._finalized:
+            raise RuntimeError("already finalized")
+        self._finalized = True
+        if self._stall_event is not None:
+            self._stall_event.cancel()
+            self._stall_event = None
+        watch = end_time - self.session_start
+        if self._started_at is None:
+            return PlaybackReport(
+                started=False,
+                join_time_s=watch,
+                playback_s=0.0,
+                stalls=[],
+                mean_playback_latency_s=None,
+            )
+        if self._playing:
+            self._close_interval(end_time)
+            self._playing = False
+        elif self._stall_started_at is not None:
+            self._stalls.append(
+                StallEvent(
+                    start=self._stall_started_at,
+                    duration=end_time - self._stall_started_at,
+                )
+            )
+            self._stall_started_at = None
+        playback = sum(d for d, _ in self._intervals)
+        total = sum(d for d, _ in self._intervals)
+        mean_latency = (
+            sum(d * l for d, l in self._intervals) / total if total > 0 else None
+        )
+        return PlaybackReport(
+            started=True,
+            join_time_s=self._started_at - self.session_start,
+            playback_s=playback,
+            stalls=list(self._stalls),
+            mean_playback_latency_s=mean_latency,
+        )

@@ -1,0 +1,193 @@
+"""HLS receive path: playlist polling and sequential segment fetching.
+
+The latency cost of HLS is structural and reproduced here end to end:
+video waits for its segment to complete at the packager, the packaged
+segment waits to be discovered via a playlist refresh, and then the
+whole segment must be downloaded before any of its frames play.  In
+exchange the player holds segment-sized buffers, which is why it stalls
+less than RTMP on the same broadcast glitches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.media.segmenter import HlsSegment
+from repro.netsim.events import EventLoop
+from repro.player.buffer import PlaybackReport, PlayoutBuffer
+from repro.protocols.hls import MediaPlaylist, PlaylistEntry
+from repro.protocols.http import HttpClient, HttpRequest, HttpResponse, HttpStatus
+
+#: Playback starts as soon as the first fetched segment is buffered.
+HLS_START_THRESHOLD_S = 0.2
+HLS_REBUFFER_THRESHOLD_S = 0.5
+#: Delay before re-requesting a playlist that had nothing new.
+PLAYLIST_RETRY_S = 1.0
+
+
+class HlsPlayer:
+    """Fetches the live window and feeds the playout buffer.
+
+    Uses two HTTP connections — one for playlists, one for segments —
+    matching the paper's observation that HLS sessions may use multiple
+    parallel connections.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        playlist_client: HttpClient,
+        segment_client: HttpClient,
+        playlist_path: str,
+        broadcast_start: float,
+        session_start: float = 0.0,
+        capture_clock_error_s: float = 0.0,
+        vod: bool = False,
+    ) -> None:
+        self.loop = loop
+        self.playlist_client = playlist_client
+        self.segment_client = segment_client
+        self.playlist_path = playlist_path
+        self.capture_clock_error_s = capture_clock_error_s
+        #: Replay ("not live") sessions start from the first segment of an
+        #: ended playlist instead of joining at the live edge.
+        self.vod = vod
+        self.buffer = PlayoutBuffer(
+            loop,
+            start_threshold_s=HLS_START_THRESHOLD_S,
+            rebuffer_threshold_s=HLS_REBUFFER_THRESHOLD_S,
+            broadcast_start=broadcast_start,
+            session_start=session_start,
+        )
+        self.stopped = False
+        self.segments_fetched: List[HlsSegment] = []
+        self.delivery_latency_samples: List[float] = []
+        self.playlist_fetches = 0
+        self.stale_playlists = 0
+        self._known_entries: Dict[int, PlaylistEntry] = {}
+        self._next_sequence: Optional[int] = None
+        self._fetching_segment = False
+        self._origin_set = False
+        self._display_fps_factor = 1.0
+
+    def set_display_fps_factor(self, factor: float) -> None:
+        """Device decode capability (see RtmpPlayer)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        self._display_fps_factor = factor
+
+    # ----------------------------------------------------------------- start
+
+    def start(self) -> None:
+        self._request_playlist()
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    # -------------------------------------------------------------- playlist
+
+    def _request_playlist(self) -> None:
+        if self.stopped:
+            return
+        self.playlist_fetches += 1
+        self.playlist_client.request(
+            HttpRequest("GET", self.playlist_path), self._on_playlist
+        )
+
+    def _on_playlist(self, response: HttpResponse, now: float) -> None:
+        if self.stopped:
+            return
+        if response.status != HttpStatus.OK or not isinstance(
+            response.payload, MediaPlaylist
+        ):
+            self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
+            return
+        playlist = response.payload
+        new_entries = 0
+        for entry in playlist.entries:
+            if entry.sequence not in self._known_entries:
+                self._known_entries[entry.sequence] = entry
+                new_entries += 1
+        if not playlist.entries:
+            self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
+            return
+        if new_entries == 0:
+            self.stale_playlists += 1
+        if self._next_sequence is None:
+            if self.vod:
+                # Replay: start from the beginning of the recording.
+                self._next_sequence = playlist.entries[0].sequence
+            else:
+                # Join at the live edge: the newest published segment.
+                self._next_sequence = playlist.entries[-1].sequence
+        self._pump_segment_fetch()
+
+    # -------------------------------------------------------------- segments
+
+    def _pump_segment_fetch(self) -> None:
+        if self.stopped or self._fetching_segment or self._next_sequence is None:
+            return
+        entry = self._known_entries.get(self._next_sequence)
+        if entry is None:
+            newest_known = max(self._known_entries) if self._known_entries else -1
+            if newest_known > (self._next_sequence or 0):
+                # We fell out of the live window; skip forward.
+                self._next_sequence = newest_known
+                entry = self._known_entries[newest_known]
+            else:
+                self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
+                return
+        self._fetching_segment = True
+        self.segment_client.request(
+            HttpRequest("GET", f"/{entry.uri}"),
+            lambda resp, t, seq=entry.sequence: self._on_segment(resp, t, seq),
+        )
+
+    def _on_segment(self, response: HttpResponse, now: float, sequence: int) -> None:
+        self._fetching_segment = False
+        if self.stopped:
+            return
+        if response.status != HttpStatus.OK or not isinstance(
+            response.payload, HlsSegment
+        ):
+            # Segment aged out before we fetched it; rejoin at the edge.
+            self._next_sequence = None
+            self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
+            return
+        segment = response.payload
+        self.segments_fetched.append(segment)
+        self._next_sequence = sequence + 1
+        observed = now + self.capture_clock_error_s
+        last_pts = segment.start_pts
+        for frame in segment.video_frames:
+            last_pts = max(last_pts, frame.pts)
+            if frame.ntp_timestamp is not None:
+                self.delivery_latency_samples.append(observed - frame.ntp_timestamp)
+        if not self._origin_set:
+            self.buffer.set_play_origin(segment.start_pts)
+            self._origin_set = True
+        self.buffer.on_media(last_pts + 1.0 / 30.0)
+        self._pump_segment_fetch()
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def video_frames(self) -> List:
+        frames = []
+        for segment in self.segments_fetched:
+            frames.extend(segment.video_frames)
+        return frames
+
+    def displayed_fps(self, report: PlaybackReport) -> Optional[float]:
+        frames = self.video_frames
+        if report.playback_s <= 0 or len(frames) < 2:
+            return None
+        pts = sorted(f.pts for f in frames)
+        span = pts[-1] - pts[0] + 1.0 / 30.0
+        if span <= 0:
+            return None
+        return len(frames) * self._display_fps_factor / span
+
+    def finalize(self, end_time: float) -> PlaybackReport:
+        self.stop()
+        return self.buffer.finalize(end_time)

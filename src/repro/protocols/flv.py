@@ -1,0 +1,143 @@
+"""FLV tag muxing/demuxing — the container format RTMP carries.
+
+Implements the FLV file/stream structure from the Adobe spec at the
+fidelity the study needs: a 9-byte header, then tags of
+
+    TagType(1) DataSize(3) Timestamp(3+1) StreamID(3) Data PrevTagSize(4)
+
+with AVC video data (frame-type/codec-id byte) and AAC audio data (sound
+format byte) wrapping our elementary-stream records.  The wireshark RTMP
+dissector step of the paper corresponds to :func:`demux` here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+from repro.media.bitstream import (
+    FrameStreamParser,
+    encode_audio_frame,
+    encode_video_frame,
+)
+from repro.media.frames import AudioFrame, EncodedFrame
+
+FLV_SIGNATURE = b"FLV"
+FLV_VERSION = 1
+#: Header flags: audio present | video present.
+FLV_FLAGS_AV = 0x05
+FLV_HEADER_SIZE = 9
+
+TAG_AUDIO = 8
+TAG_VIDEO = 9
+
+#: Video tag first byte: frame type (1 = key, 2 = inter) << 4 | codec (7 = AVC).
+_VIDEO_KEY = (1 << 4) | 7
+_VIDEO_INTER = (2 << 4) | 7
+#: Audio tag first byte: AAC (10) << 4 | 44 kHz (3) << 2 | 16-bit (1) << 1 | stereo.
+_AUDIO_AAC_44K = (10 << 4) | (3 << 2) | (1 << 1) | 1
+
+
+def file_header() -> bytes:
+    """The FLV stream header plus the zero PreviousTagSize0 field."""
+    header = FLV_SIGNATURE + bytes([FLV_VERSION, FLV_FLAGS_AV]) + struct.pack(
+        ">I", FLV_HEADER_SIZE
+    )
+    return header + struct.pack(">I", 0)
+
+
+def _tag(tag_type: int, timestamp_ms: int, data: bytes) -> bytes:
+    """Serialize one FLV tag with its trailing PreviousTagSize."""
+    if timestamp_ms < 0:
+        raise ValueError("FLV timestamps must be non-negative")
+    size = len(data)
+    if size >= 1 << 24:
+        raise ValueError("FLV tag data too large")
+    ts_low = timestamp_ms & 0xFFFFFF
+    ts_ext = (timestamp_ms >> 24) & 0xFF
+    header = struct.pack(
+        ">B3s3sB3s",
+        tag_type,
+        size.to_bytes(3, "big"),
+        ts_low.to_bytes(3, "big"),
+        ts_ext,
+        b"\x00\x00\x00",
+    )
+    body = header + data
+    return body + struct.pack(">I", len(body))
+
+
+def video_tag(frame: EncodedFrame) -> bytes:
+    """One FLV video tag wrapping the frame's elementary-stream record."""
+    marker = _VIDEO_KEY if frame.frame_type == "I" else _VIDEO_INTER
+    data = bytes([marker]) + encode_video_frame(frame)
+    return _tag(TAG_VIDEO, int(round(frame.dts * 1000)), data)
+
+
+def audio_tag(frame: AudioFrame) -> bytes:
+    """One FLV audio tag wrapping the frame's elementary-stream record."""
+    data = bytes([_AUDIO_AAC_44K]) + encode_audio_frame(frame)
+    return _tag(TAG_AUDIO, int(round(frame.pts * 1000)), data)
+
+
+def mux(
+    video_frames: Iterable[EncodedFrame],
+    audio_frames: Iterable[AudioFrame] = (),
+    include_header: bool = True,
+) -> bytes:
+    """Serialize frames into an FLV byte stream, interleaved by time."""
+    tagged: List[Tuple[float, bytes]] = []
+    for frame in video_frames:
+        tagged.append((frame.dts, video_tag(frame)))
+    for frame in audio_frames:
+        tagged.append((frame.pts, audio_tag(frame)))
+    tagged.sort(key=lambda item: item[0])
+    parts = [file_header()] if include_header else []
+    parts.extend(data for _, data in tagged)
+    return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class FlvTag:
+    """One parsed FLV tag."""
+
+    tag_type: int
+    timestamp_ms: int
+    frame: Union[EncodedFrame, AudioFrame]
+
+
+def demux(data: bytes, has_header: bool = True) -> List[FlvTag]:
+    """Parse an FLV stream back into tags with their media frames."""
+    offset = 0
+    if has_header:
+        if data[:3] != FLV_SIGNATURE:
+            raise ValueError("not an FLV stream (bad signature)")
+        header_size = struct.unpack(">I", data[5:9])[0]
+        offset = header_size + 4  # skip PreviousTagSize0
+    tags: List[FlvTag] = []
+    while offset < len(data):
+        if offset + 11 > len(data):
+            raise ValueError("truncated FLV tag header")
+        tag_type = data[offset]
+        size = int.from_bytes(data[offset + 1 : offset + 4], "big")
+        ts_low = int.from_bytes(data[offset + 4 : offset + 7], "big")
+        ts_ext = data[offset + 7]
+        timestamp_ms = (ts_ext << 24) | ts_low
+        body_start = offset + 11
+        body_end = body_start + size
+        if body_end + 4 > len(data):
+            raise ValueError("truncated FLV tag body")
+        body = data[body_start:body_end]
+        if tag_type not in (TAG_AUDIO, TAG_VIDEO):
+            raise ValueError(f"unsupported FLV tag type {tag_type}")
+        parser = FrameStreamParser()
+        frames = parser.feed(body[1:])  # strip the codec marker byte
+        if len(frames) != 1 or parser.pending_bytes:
+            raise ValueError("FLV tag does not contain exactly one frame record")
+        (prev_size,) = struct.unpack(">I", data[body_end : body_end + 4])
+        if prev_size != 11 + size:
+            raise ValueError("FLV PreviousTagSize mismatch")
+        tags.append(FlvTag(tag_type=tag_type, timestamp_ms=timestamp_ms, frame=frames[0]))
+        offset = body_end + 4
+    return tags

@@ -1,0 +1,153 @@
+"""HTTP Live Streaming: M3U8 playlists and the live segment window.
+
+Periscope falls back to HLS (served from Fastly CDN) when a broadcast is
+popular.  The protocol costs latency by construction: video must be
+packaged into complete segments (3-6 s), the playlist must be refreshed,
+and each segment is a separate HTTP GET — the paper measures >5 s average
+delivery latency against RTMP's <300 ms.
+
+This module implements the textual M3U8 playlist format (render + parse)
+and the server-side live window bookkeeping.  The client fetch loop lives
+in :mod:`repro.player.hls_player`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class PlaylistEntry:
+    """One #EXTINF entry of a media playlist."""
+
+    uri: str
+    duration_s: float
+    sequence: int
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("segment duration must be positive")
+
+
+@dataclass
+class MediaPlaylist:
+    """A live media playlist (no #EXT-X-ENDLIST until the broadcast ends)."""
+
+    target_duration_s: float
+    media_sequence: int
+    entries: List[PlaylistEntry] = field(default_factory=list)
+    ended: bool = False
+    version: int = 3
+
+    def render(self) -> str:
+        """Serialize to M3U8 text."""
+        lines = [
+            "#EXTM3U",
+            f"#EXT-X-VERSION:{self.version}",
+            f"#EXT-X-TARGETDURATION:{int(round(self.target_duration_s + 0.5))}",
+            f"#EXT-X-MEDIA-SEQUENCE:{self.media_sequence}",
+        ]
+        for entry in self.entries:
+            lines.append(f"#EXTINF:{entry.duration_s:.3f},")
+            lines.append(entry.uri)
+        if self.ended:
+            lines.append("#EXT-X-ENDLIST")
+        return "\n".join(lines) + "\n"
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.render().encode("utf-8"))
+
+    @classmethod
+    def parse(cls, text: str) -> "MediaPlaylist":
+        """Parse M3U8 text back into a playlist."""
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
+        if not lines or lines[0] != "#EXTM3U":
+            raise ValueError("not an M3U8 playlist (missing #EXTM3U)")
+        target = 0.0
+        sequence = 0
+        version = 3
+        ended = False
+        entries: List[PlaylistEntry] = []
+        pending_duration: Optional[float] = None
+        for line in lines[1:]:
+            if line.startswith("#EXT-X-TARGETDURATION:"):
+                target = float(line.split(":", 1)[1])
+            elif line.startswith("#EXT-X-MEDIA-SEQUENCE:"):
+                sequence = int(line.split(":", 1)[1])
+            elif line.startswith("#EXT-X-VERSION:"):
+                version = int(line.split(":", 1)[1])
+            elif line.startswith("#EXTINF:"):
+                pending_duration = float(line.split(":", 1)[1].rstrip(",").split(",")[0])
+            elif line == "#EXT-X-ENDLIST":
+                ended = True
+            elif line.startswith("#"):
+                continue  # unknown tag, per spec must be ignored
+            else:
+                if pending_duration is None:
+                    raise ValueError(f"segment URI {line!r} without #EXTINF")
+                entries.append(
+                    PlaylistEntry(
+                        uri=line,
+                        duration_s=pending_duration,
+                        sequence=sequence + len(entries),
+                    )
+                )
+                pending_duration = None
+        return cls(
+            target_duration_s=target,
+            media_sequence=sequence,
+            entries=entries,
+            ended=ended,
+            version=version,
+        )
+
+
+class LiveWindow:
+    """Server-side sliding window of the most recent segments.
+
+    A live HLS origin keeps only the last ``window_size`` segments in the
+    playlist; older ones age out (clients that fall behind skip forward).
+    """
+
+    def __init__(self, target_duration_s: float, window_size: int = 3) -> None:
+        if window_size < 1:
+            raise ValueError("window must hold at least one segment")
+        self.target_duration_s = target_duration_s
+        self.window_size = window_size
+        self._entries: List[PlaylistEntry] = []
+        self._next_sequence = 0
+        self.ended = False
+
+    def add_segment(self, uri: str, duration_s: float) -> PlaylistEntry:
+        """Publish a newly completed segment."""
+        if self.ended:
+            raise RuntimeError("cannot add segments after end of stream")
+        entry = PlaylistEntry(uri=uri, duration_s=duration_s, sequence=self._next_sequence)
+        self._next_sequence += 1
+        self._entries.append(entry)
+        if len(self._entries) > self.window_size:
+            self._entries.pop(0)
+        return entry
+
+    def end_stream(self) -> None:
+        self.ended = True
+
+    @property
+    def newest_sequence(self) -> int:
+        return self._next_sequence - 1
+
+    def playlist(self) -> MediaPlaylist:
+        """The playlist a client fetching right now would receive."""
+        media_sequence = self._entries[0].sequence if self._entries else self._next_sequence
+        return MediaPlaylist(
+            target_duration_s=self.target_duration_s,
+            media_sequence=media_sequence,
+            entries=list(self._entries),
+            ended=self.ended,
+        )
+
+    def entries_after(self, sequence: int) -> Sequence[PlaylistEntry]:
+        """Segments newer than ``sequence`` still inside the window."""
+        return [e for e in self._entries if e.sequence > sequence]

@@ -1,0 +1,278 @@
+"""RTMP-like chunked push streaming.
+
+Periscope delivers unpopular broadcasts over RTMP on port 80 straight
+from Amazon EC2 ingest servers; its defining property for QoE is that the
+server **pushes each frame the moment it exists** — no segmentation, no
+client polling — which is why the paper measures sub-300 ms delivery
+latency for 75% of RTMP broadcasts.
+
+Two layers live here:
+
+* a byte-level implementation of the RTMP **chunk stream** (format-0
+  headers with the 11-byte message header, format-3 continuation chunks,
+  configurable chunk size) carrying FLV-tagged media — enough for the
+  capture pipeline to dissect streams the way wireshark's RTMP dissector
+  does; and
+* :class:`RtmpPushSession` / :class:`RtmpReceiver`, the transport glue
+  that runs the protocol over a simulated connection.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.media.bitstream import FrameStreamParser
+from repro.media.frames import AudioFrame, EncodedFrame
+from repro.netsim.connection import Connection, Message
+from repro.protocols import flv
+
+#: Default maximum chunk payload negotiated via Set Chunk Size (modern
+#: servers immediately raise it from the spec default of 128).
+DEFAULT_CHUNK_SIZE = 4096
+
+#: RTMP handshake sizes: C0/S0 are 1 byte, C1/S1/C2/S2 are 1536 bytes.
+HANDSHAKE_C0 = 1
+HANDSHAKE_C1 = 1536
+HANDSHAKE_S0S1S2 = 1 + 1536 + 1536
+HANDSHAKE_C2 = 1536
+
+#: TCP port Periscope serves plaintext RTMP on (80, to dodge firewalls).
+RTMP_PORT = 80
+
+
+class RtmpMessageType(enum.IntEnum):
+    """Message type ids from the RTMP spec (subset the study needs)."""
+
+    SET_CHUNK_SIZE = 1
+    USER_CONTROL = 4
+    AUDIO = 8
+    VIDEO = 9
+    DATA_AMF0 = 18
+    COMMAND_AMF0 = 20
+
+
+@dataclass(frozen=True)
+class RtmpMessage:
+    """One RTMP message prior to chunking."""
+
+    msg_type: RtmpMessageType
+    timestamp_ms: int
+    payload: bytes
+    stream_id: int = 1
+    chunk_stream_id: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timestamp_ms < 0:
+            raise ValueError("timestamp must be non-negative")
+        if not 2 <= self.chunk_stream_id <= 63:
+            raise ValueError("only single-byte chunk stream ids are supported")
+
+
+# --------------------------------------------------------------------- chunking
+
+
+def chunk_message(message: RtmpMessage, chunk_size: int = DEFAULT_CHUNK_SIZE) -> bytes:
+    """Serialize one message as a format-0 chunk plus format-3 continuations."""
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
+    payload = message.payload
+    ts = min(message.timestamp_ms, 0xFFFFFF)  # extended timestamps unsupported
+    basic0 = bytes([(0 << 6) | message.chunk_stream_id])
+    header0 = (
+        ts.to_bytes(3, "big")
+        + len(payload).to_bytes(3, "big")
+        + bytes([int(message.msg_type)])
+        + struct.pack("<I", message.stream_id)  # little-endian per spec quirk
+    )
+    basic3 = bytes([(3 << 6) | message.chunk_stream_id])
+    parts = [basic0, header0, payload[:chunk_size]]
+    offset = chunk_size
+    while offset < len(payload):
+        parts.append(basic3)
+        parts.append(payload[offset : offset + chunk_size])
+        offset += chunk_size
+    return b"".join(parts)
+
+
+class ChunkParser:
+    """Incremental RTMP chunk-stream parser.
+
+    Reassembles messages from a byte stream, honouring Set Chunk Size
+    control messages inline (type 1), exactly like a dissector must.
+    """
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.chunk_size = chunk_size
+        self._buffer = bytearray()
+        #: chunk_stream_id -> (expected message, received payload so far)
+        self._partial: Dict[int, Tuple[RtmpMessageType, int, int, int, bytearray]] = {}
+        self.messages: List[RtmpMessage] = []
+
+    def feed(self, data: bytes) -> List[RtmpMessage]:
+        """Consume bytes; return messages completed by them."""
+        self._buffer.extend(data)
+        done: List[RtmpMessage] = []
+        while True:
+            message = self._try_parse()
+            if message is None:
+                break
+            if message.msg_type == RtmpMessageType.SET_CHUNK_SIZE:
+                self.chunk_size = struct.unpack(">I", message.payload)[0]
+            done.append(message)
+        self.messages.extend(done)
+        return done
+
+    def _try_parse(self) -> Optional[RtmpMessage]:
+        if not self._buffer:
+            return None
+        fmt = self._buffer[0] >> 6
+        csid = self._buffer[0] & 0x3F
+        if fmt == 0:
+            if len(self._buffer) < 12:
+                return None
+            ts = int.from_bytes(self._buffer[1:4], "big")
+            length = int.from_bytes(self._buffer[4:7], "big")
+            msg_type = RtmpMessageType(self._buffer[7])
+            stream_id = struct.unpack("<I", bytes(self._buffer[8:12]))[0]
+            take = min(self.chunk_size, length)
+            if len(self._buffer) < 12 + take:
+                return None
+            payload = bytearray(self._buffer[12 : 12 + take])
+            del self._buffer[: 12 + take]
+            if len(payload) == length:
+                return RtmpMessage(msg_type, ts, bytes(payload), stream_id, csid)
+            self._partial[csid] = (msg_type, ts, stream_id, length, payload)
+            return self._try_parse()
+        if fmt == 3:
+            state = self._partial.get(csid)
+            if state is None:
+                raise ValueError(f"format-3 chunk for unknown stream {csid}")
+            msg_type, ts, stream_id, length, payload = state
+            take = min(self.chunk_size, length - len(payload))
+            if len(self._buffer) < 1 + take:
+                return None
+            payload.extend(self._buffer[1 : 1 + take])
+            del self._buffer[: 1 + take]
+            if len(payload) == length:
+                del self._partial[csid]
+                return RtmpMessage(msg_type, ts, bytes(payload), stream_id, csid)
+            return self._try_parse()
+        raise ValueError(f"chunk format {fmt} not supported (only 0 and 3)")
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# ----------------------------------------------------------------- media glue
+
+
+def video_message(frame: EncodedFrame) -> RtmpMessage:
+    """Wrap an encoded video frame as an RTMP video message (FLV body)."""
+    marker = flv._VIDEO_KEY if frame.frame_type == "I" else flv._VIDEO_INTER
+    from repro.media.bitstream import encode_video_frame
+
+    return RtmpMessage(
+        msg_type=RtmpMessageType.VIDEO,
+        timestamp_ms=int(round(frame.dts * 1000)),
+        payload=bytes([marker]) + encode_video_frame(frame),
+    )
+
+
+def audio_message(frame: AudioFrame) -> RtmpMessage:
+    """Wrap an audio frame as an RTMP audio message (FLV body)."""
+    from repro.media.bitstream import encode_audio_frame
+
+    return RtmpMessage(
+        msg_type=RtmpMessageType.AUDIO,
+        timestamp_ms=int(round(frame.pts * 1000)),
+        payload=bytes([flv._AUDIO_AAC_44K]) + encode_audio_frame(frame),
+        chunk_stream_id=5,
+    )
+
+
+def media_frame_of(message: RtmpMessage) -> Union[EncodedFrame, AudioFrame]:
+    """Recover the media frame from an AUDIO/VIDEO message payload."""
+    if message.msg_type not in (RtmpMessageType.AUDIO, RtmpMessageType.VIDEO):
+        raise ValueError(f"not a media message: {message.msg_type}")
+    parser = FrameStreamParser()
+    frames = parser.feed(message.payload[1:])  # strip the FLV marker byte
+    if len(frames) != 1 or parser.pending_bytes:
+        raise ValueError("media message does not hold exactly one frame record")
+    return frames[0]
+
+
+# ----------------------------------------------------------- simulated session
+
+
+FrameCallback = Callable[[Union[EncodedFrame, AudioFrame], float], None]
+
+
+class RtmpPushSession:
+    """Server side: push media frames over a simulated connection.
+
+    After :meth:`handshake` completes (one message each way modelling
+    C0C1/S0S1S2/C2 plus connect/play commands), every call to
+    :meth:`push_frame` immediately transmits the frame — the defining
+    latency behaviour of the RTMP path.
+    """
+
+    def __init__(self, connection: Connection, byte_fidelity: bool = False) -> None:
+        self.connection = connection
+        self.byte_fidelity = byte_fidelity
+        self.frames_pushed = 0
+        self.bytes_pushed = 0
+
+    def handshake_response_bytes(self) -> int:
+        """Wire bytes of S0+S1+S2 plus the command responses."""
+        return HANDSHAKE_S0S1S2 + 300  # _result(connect) + onStatus(play)
+
+    def push_frame(self, frame: Union[EncodedFrame, AudioFrame]) -> Message:
+        """Chunk and transmit one media frame right now."""
+        if isinstance(frame, EncodedFrame):
+            rtmp_msg = video_message(frame)
+            kind = "video"
+        else:
+            rtmp_msg = audio_message(frame)
+            kind = "audio"
+        data = chunk_message(rtmp_msg) if self.byte_fidelity else None
+        nbytes = len(data) if data is not None else _chunked_size(rtmp_msg)
+        message = Message(
+            payload=frame,
+            nbytes=nbytes,
+            data=data,
+            annotations={
+                "protocol": "rtmp",
+                "kind": kind,
+                "pts": frame.pts,
+                "ntp": getattr(frame, "ntp_timestamp", None),
+            },
+        )
+        self.frames_pushed += 1
+        self.bytes_pushed += nbytes
+        return self.connection.send(message)
+
+
+def _chunked_size(message: RtmpMessage, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+    """Wire size of a message after chunking, without serializing it."""
+    n_continuations = max(0, (len(message.payload) - 1) // chunk_size)
+    return 12 + len(message.payload) + n_continuations
+
+
+class RtmpReceiver:
+    """Client side: hand arriving media frames to the player."""
+
+    def __init__(self, on_frame: FrameCallback) -> None:
+        self.on_frame = on_frame
+        self.frames_received = 0
+
+    def on_message(self, message: Message, now: float) -> None:
+        """Connection callback: unwrap the frame and forward it."""
+        if message.annotations.get("protocol") != "rtmp":
+            return
+        frame = message.payload
+        self.frames_received += 1
+        self.on_frame(frame, now)

@@ -1,0 +1,123 @@
+"""Empirical distribution helpers: ECDFs and boxplot summaries.
+
+These are the two presentation primitives used by every figure in the
+paper (CDF plots and boxplots).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+class Ecdf:
+    """Empirical cumulative distribution function over a sample.
+
+    >>> e = Ecdf([1.0, 2.0, 2.0, 4.0])
+    >>> e(2.0)
+    0.75
+    >>> e.quantile(0.5)
+    2.0
+    """
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self._sorted: List[float] = sorted(float(s) for s in samples)
+        if not self._sorted:
+            raise ValueError("Ecdf requires at least one sample")
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def __call__(self, x: float) -> float:
+        """Fraction of samples ``<= x``."""
+        return bisect.bisect_right(self._sorted, x) / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF with linear interpolation (numpy's default scheme)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        n = len(self._sorted)
+        if n == 1:
+            return self._sorted[0]
+        pos = q * (n - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        value = self._sorted[lo] * (1.0 - frac) + self._sorted[hi] * frac
+        # Interpolation can drift past the extremes by a ULP; clamp.
+        return min(max(value, self._sorted[0]), self._sorted[-1])
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1]
+
+    def mean(self) -> float:
+        return sum(self._sorted) / len(self._sorted)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs suitable for plotting."""
+        n = len(self._sorted)
+        return [(v, (i + 1) / n) for i, v in enumerate(self._sorted)]
+
+    def series(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        """Evaluate the ECDF on a fixed grid (for tabular figure output)."""
+        return [(x, self(x)) for x in xs]
+
+
+def ecdf(samples: Iterable[float]) -> Ecdf:
+    """Convenience constructor for :class:`Ecdf`."""
+    return Ecdf(samples)
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    """The boxplot statistics: Tukey whiskers plus quartiles and median."""
+
+    low_whisker: float
+    q1: float
+    median: float
+    q3: float
+    high_whisker: float
+    n_outliers: int
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def row(self) -> Tuple[float, float, float, float, float]:
+        """The five numbers as a tuple (for table rendering)."""
+        return (self.low_whisker, self.q1, self.median, self.q3, self.high_whisker)
+
+
+def five_number_summary(samples: Iterable[float]) -> FiveNumberSummary:
+    """Compute Tukey boxplot statistics (1.5*IQR whisker rule)."""
+    data = sorted(float(s) for s in samples)
+    if not data:
+        raise ValueError("five_number_summary requires at least one sample")
+    e = Ecdf(data)
+    q1, med, q3 = e.quantile(0.25), e.quantile(0.5), e.quantile(0.75)
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    inside = [x for x in data if lo_fence <= x <= hi_fence]
+    n_outliers = len(data) - len(inside)
+    # Whiskers reach to the extreme data points inside the fences, but never
+    # cross the (interpolated) quartiles — matplotlib clamps the same way.
+    low_whisker = min(inside[0] if inside else data[0], q1)
+    high_whisker = max(inside[-1] if inside else data[-1], q3)
+    return FiveNumberSummary(
+        low_whisker=low_whisker,
+        q1=q1,
+        median=med,
+        q3=q3,
+        high_whisker=high_whisker,
+        n_outliers=n_outliers,
+        n=len(data),
+    )

@@ -1,0 +1,140 @@
+"""Tests for Welch's t-test and the special functions under it."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import (
+    regularized_incomplete_beta,
+    student_t_sf,
+    welch_t_test,
+)
+
+
+class TestIncompleteBeta:
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_symmetric_case(self):
+        # I_0.5(a, a) = 0.5 for any a.
+        for a in (0.5, 1.0, 3.0, 10.0):
+            assert regularized_incomplete_beta(a, a, 0.5) == pytest.approx(0.5)
+
+    def test_uniform_case(self):
+        # I_x(1, 1) = x.
+        for x in (0.1, 0.33, 0.9):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(x)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+
+class TestStudentT:
+    def test_zero_statistic_is_half(self):
+        for df in (1, 5, 30, 200):
+            assert student_t_sf(0.0, df) == pytest.approx(0.5)
+
+    def test_known_quantile_df10(self):
+        # t_{0.975, 10} = 2.228: P(T > 2.228) = 0.025.
+        assert student_t_sf(2.228, 10) == pytest.approx(0.025, abs=2e-4)
+
+    def test_large_df_approaches_normal(self):
+        # P(Z > 1.96) = 0.025.
+        assert student_t_sf(1.96, 10_000) == pytest.approx(0.025, abs=5e-4)
+
+    def test_negative_t(self):
+        assert student_t_sf(-1.0, 10) == pytest.approx(1.0 - student_t_sf(1.0, 10))
+
+    def test_df_validation(self):
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+class TestWelch:
+    def test_identical_distributions_not_significant(self):
+        rng = random.Random(1)
+        a = [rng.gauss(10, 2) for _ in range(200)]
+        b = [rng.gauss(10, 2) for _ in range(200)]
+        result = welch_t_test(a, b)
+        assert not result.significant()
+        assert result.p_value > 0.05
+
+    def test_different_means_significant(self):
+        rng = random.Random(2)
+        a = [rng.gauss(10, 2) for _ in range(100)]
+        b = [rng.gauss(12, 2) for _ in range(100)]
+        result = welch_t_test(a, b)
+        assert result.significant()
+        assert result.p_value < 1e-6
+
+    def test_unequal_variances_handled(self):
+        rng = random.Random(3)
+        a = [rng.gauss(5, 0.1) for _ in range(50)]
+        b = [rng.gauss(5, 5.0) for _ in range(500)]
+        result = welch_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.degrees_of_freedom > 2
+
+    def test_constant_samples(self):
+        result = welch_t_test([3.0, 3.0, 3.0], [3.0, 3.0])
+        assert result.p_value == 1.0
+        assert result.t_statistic == 0.0
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_agrees_with_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(4)
+        a = [rng.gauss(10, 3) for _ in range(37)]
+        b = [rng.gauss(11, 1.5) for _ in range(61)]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.t_statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-7)
+
+
+class TestCharts:
+    def test_render_table(self):
+        from repro.analysis.charts import render_table
+
+        out = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[3]
+
+    def test_render_cdf(self):
+        from repro.analysis.charts import render_cdf
+        from repro.util.empirical import Ecdf
+
+        out = render_cdf({"rtmp": Ecdf([1, 2, 3]), "hls": Ecdf([2, 4, 6])},
+                         xs=[1, 3, 6], x_label="latency")
+        assert "rtmp F(x)" in out
+        assert "1.000" in out
+
+    def test_render_boxplot_rows(self):
+        from repro.analysis.charts import render_boxplot_rows
+        from repro.util.empirical import five_number_summary
+
+        out = render_boxplot_rows(
+            {"0.5": five_number_summary([1, 2, 3, 4, 5]),
+             "1": five_number_summary([0, 1, 2])}, "join (s)")
+        assert "median" in out
+        assert "0.5" in out
+
+    def test_render_bars(self):
+        from repro.analysis.charts import render_bars
+
+        out = render_bars({"home": {"wifi": 1000.0, "lte": 950.0}}, unit="mW")
+        assert "wifi" in out and "#" in out
+
+    def test_render_scatter_summary(self):
+        from repro.analysis.charts import render_scatter_summary
+
+        out = render_scatter_summary(
+            [(100.0, 30.0), (200.0, 35.0)], "bitrate", "qp",
+            x_bins=[(0.0, 150.0), (150.0, 300.0)])
+        assert "30.0" in out

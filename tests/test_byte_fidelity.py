@@ -1,0 +1,113 @@
+"""Byte-fidelity end-to-end: real bytes over the wire, real dissection.
+
+These tests run the delivery paths with actual serialized bytes in each
+packet and verify that the capture-side parsers (the wireshark/libav
+stand-ins) recover the exact media — the strongest cross-check between
+the producing and measuring halves of the reproduction.
+"""
+
+import random
+
+import pytest
+
+from repro.capture.inspector import inspect_frames
+from repro.media.frames import AudioFrame, EncodedFrame
+from repro.netsim.connection import Connection
+from repro.netsim.events import EventLoop
+from repro.netsim.topology import Network
+from repro.netsim.trace import TraceCapture
+from repro.protocols import mpegts, rtmp
+from repro.service.broadcast import sample_broadcast
+from repro.service.delivery import HlsOrigin, LiveSourceDriver, RtmpDelivery
+from repro.service.geo import POPULATION_CENTERS, GeoPoint
+from repro.protocols.http import HttpRequest
+from repro.util.units import MBPS
+
+
+def make_broadcast(seed=11):
+    b = sample_broadcast(random.Random(seed), 0.0, GeoPoint(48.9, 2.3),
+                         POPULATION_CENTERS[9])
+    b.mean_viewers = 20.0
+    b.duration_s = 3600.0
+    return b
+
+
+class TestRtmpByteFidelity:
+    def _run(self, watch=10.0):
+        loop = EventLoop()
+        net = Network(loop)
+        server, phone = net.host("ingest"), net.host("phone")
+        net.duplex(server, phone, rate_bps=50 * MBPS, delay_s=0.02)
+        capture = TraceCapture(capture_payload=True)
+        capture.tap_link(net.link_between(server, phone), "down")
+        fwd, rev = net.duplex_paths("ingest", "phone")
+        received = []
+        conn = Connection(loop, fwd, rev,
+                          on_message=lambda m, t: received.append(m.payload))
+        driver = LiveSourceDriver(loop, make_broadcast(), age_at_join=5.0,
+                                  horizon_s=watch, generate_from=2.0)
+        push = rtmp.RtmpPushSession(conn, byte_fidelity=True)
+        delivery = RtmpDelivery(push, driver)
+        driver.start()
+        delivery.start()
+        loop.run_until(watch)
+        return capture, received
+
+    def test_chunk_stream_reconstructs_from_capture(self):
+        capture, received = self._run()
+        # Reassemble the byte stream from the captured packet chunks.
+        records = sorted(capture.data_records(), key=lambda r: r.seq)
+        stream_bytes = b"".join(r.chunk for r in records if r.chunk is not None)
+        assert stream_bytes
+        parser = rtmp.ChunkParser()
+        messages = parser.feed(stream_bytes)
+        media = [rtmp.media_frame_of(m) for m in messages
+                 if m.msg_type in (rtmp.RtmpMessageType.AUDIO,
+                                   rtmp.RtmpMessageType.VIDEO)]
+        sent_video = [f for f in received if isinstance(f, EncodedFrame)]
+        got_video = [f for f in media if isinstance(f, EncodedFrame)]
+        # Capture may trail the app by in-flight packets; compare prefix.
+        assert len(got_video) >= len(sent_video)
+        for got, sent in zip(got_video, sent_video):
+            assert got.nbytes == sent.nbytes
+            assert got.frame_type == sent.frame_type
+            assert got.pts == pytest.approx(sent.pts)
+
+    def test_dissected_media_inspectable(self):
+        capture, _ = self._run(watch=12.0)
+        records = sorted(capture.data_records(), key=lambda r: r.seq)
+        stream_bytes = b"".join(r.chunk for r in records if r.chunk is not None)
+        parser = rtmp.ChunkParser()
+        frames = [rtmp.media_frame_of(m) for m in parser.feed(stream_bytes)
+                  if m.msg_type in (rtmp.RtmpMessageType.AUDIO,
+                                    rtmp.RtmpMessageType.VIDEO)]
+        video = [f for f in frames if isinstance(f, EncodedFrame)]
+        audio = [f for f in frames if isinstance(f, AudioFrame)]
+        report = inspect_frames(video, audio)
+        assert 100e3 < report.video_bitrate_bps < 1.5e6
+        assert report.gop_kind in ("IBP", "IP", "I")
+        assert report.n_audio_frames == len(audio)
+
+
+class TestHlsByteFidelity:
+    def test_served_segments_demux_cleanly(self):
+        loop = EventLoop()
+        driver = LiveSourceDriver(loop, make_broadcast(seed=12), age_at_join=30.0,
+                                  horizon_s=10.0, generate_from=14.0)
+        origin = HlsOrigin(loop, driver, byte_fidelity=True)
+        driver.start()
+        origin.start()
+        loop.run_until(10.0)
+        playlist = origin.window.playlist()
+        assert playlist.entries
+        for entry in playlist.entries:
+            response = origin.handle(HttpRequest("GET", f"/{entry.uri}"), "c")
+            result = mpegts.demux_segment(response.data)
+            assert result.continuity_errors == 0
+            assert len(result.video_frames) == len(response.payload.video_frames)
+            # Byte sizes on the wire match the segment's media payload.
+            media_bytes = sum(f.nbytes for f in result.video_frames) + sum(
+                a.nbytes for a in result.audio_frames
+            )
+            assert len(response.data) > media_bytes  # container overhead
+            assert len(response.data) < media_bytes * 1.35

@@ -1,0 +1,203 @@
+"""Tests for the mitm proxy, reconstruction and inspection pipeline."""
+
+import random
+
+import pytest
+
+from repro.capture.inspector import classify_gop, inspect_frames, qp_bitrate_points
+from repro.capture.mitm import Flow, InlineScript, MitmProxy, RecordingScript
+from repro.capture.reconstruct import (
+    classify_flows,
+    extract_hls_segments,
+    extract_rtmp_frames,
+    reassemble_flows,
+)
+from repro.core.session import SessionSetup, ViewingSession
+from repro.media.content import CONTENT_PROFILES, ContentProcess
+from repro.media.encoder import EncoderSettings, VideoEncoder
+from repro.media.frames import EncodedFrame
+from repro.protocols.http import HttpRequest, HttpResponse, HttpStatus
+from repro.service.selection import DeliveryProtocol
+from tests.test_core_session import make_broadcast, run_session
+
+
+class TestMitmProxy:
+    def upstream(self, request, client):
+        return HttpResponse(HttpStatus.OK, json_body={"path": request.path})
+
+    def test_passthrough(self):
+        proxy = MitmProxy(self.upstream)
+        handler = proxy.handler()
+        resp = handler(HttpRequest("GET", "/x"), "c1")
+        assert resp.json_body == {"path": "/x"}
+        assert len(proxy.flows) == 1
+        assert proxy.flows[0].response is resp
+
+    def test_request_rewrite(self):
+        class Rewrite(InlineScript):
+            def request(self, flow):
+                return HttpRequest("GET", "/rewritten")
+
+        proxy = MitmProxy(self.upstream)
+        proxy.addon(Rewrite())
+        resp = proxy.handler()(HttpRequest("GET", "/original"), "c1")
+        assert resp.json_body == {"path": "/rewritten"}
+
+    def test_short_circuit_response(self):
+        class Block(InlineScript):
+            def request(self, flow):
+                return HttpResponse(HttpStatus.TOO_MANY_REQUESTS, json_body={})
+
+        proxy = MitmProxy(self.upstream)
+        proxy.addon(Block())
+        resp = proxy.handler()(HttpRequest("GET", "/x"), "c1")
+        assert resp.status == HttpStatus.TOO_MANY_REQUESTS
+
+    def test_response_replacement(self):
+        class Replace(InlineScript):
+            def response(self, flow):
+                return HttpResponse(HttpStatus.OK, json_body={"replaced": True})
+
+        proxy = MitmProxy(self.upstream)
+        proxy.addon(Replace())
+        resp = proxy.handler()(HttpRequest("GET", "/x"), "c1")
+        assert resp.json_body == {"replaced": True}
+
+    def test_recording_script_filters(self):
+        proxy = MitmProxy(self.upstream)
+        recorder = RecordingScript(path_filter=lambda p: p.lower().endswith("meta"))
+        proxy.addon(recorder)
+        handler = proxy.handler()
+        handler(HttpRequest("GET", "/playbackMeta"), "c1")
+        handler(HttpRequest("GET", "/other"), "c1")
+        assert len(recorder.requests) == 1
+        assert recorder.requests[0]["path"] == "/playbackMeta"
+
+
+@pytest.fixture(scope="module")
+def rtmp_artifacts():
+    return run_session(watch=20.0, seed=31)
+
+
+@pytest.fixture(scope="module")
+def hls_artifacts():
+    return run_session(protocol=DeliveryProtocol.HLS, viewers=300.0,
+                       watch=25.0, seed=32)
+
+
+class TestReconstruction:
+    def test_reassembles_flows(self, rtmp_artifacts):
+        streams = reassemble_flows(rtmp_artifacts.capture)
+        assert streams
+        down = [s for s in streams.values() if s.direction == "down"]
+        assert down
+        assert all(s.total_payload_bytes > 0 for s in down)
+
+    def test_classify_flows(self, rtmp_artifacts):
+        streams = reassemble_flows(rtmp_artifacts.capture)
+        buckets = classify_flows(streams)
+        assert buckets["rtmp"]
+        assert buckets["http"]      # API + avatar traffic
+        assert buckets["websocket"]  # chat
+
+    def test_extract_rtmp_frames(self, rtmp_artifacts):
+        streams = reassemble_flows(rtmp_artifacts.capture)
+        media = [
+            s for s in streams.values()
+            if s.direction == "down"
+            and any(a.get("protocol") == "rtmp" and a.get("kind") in ("video", "audio")
+                    for _, a in s.messages)
+        ]
+        assert media
+        frames = extract_rtmp_frames(media[0])
+        video = [f for _, f in frames if isinstance(f, EncodedFrame)]
+        assert len(video) > 100
+        times = [t for t, _ in frames]
+        assert times == sorted(times)
+
+    def test_extract_hls_segments(self, hls_artifacts):
+        streams = reassemble_flows(hls_artifacts.capture)
+        all_segments = []
+        for stream in streams.values():
+            if stream.direction == "down":
+                all_segments.extend(extract_hls_segments(stream))
+        assert len(all_segments) >= 3
+        for _, segment in all_segments:
+            assert segment.video_frames
+
+    def test_capture_rate_accounting(self, rtmp_artifacts):
+        streams = reassemble_flows(rtmp_artifacts.capture)
+        rtmp = classify_flows(streams)["rtmp"]
+        rate = max(s.average_rate_bps() for s in rtmp)
+        assert 100_000 < rate < 2_000_000  # a plausible video stream
+
+
+class TestInspector:
+    def _frames(self, gop="IBP", seed=1, duration=30.0):
+        from repro.media.encoder import GopPattern
+
+        settings = EncoderSettings(target_bps=300_000.0, gop=GopPattern(gop))
+        content = ContentProcess(CONTENT_PROFILES["indoor_event"], random.Random(seed))
+        return VideoEncoder(settings, content, random.Random(seed + 1)).encode_all(duration)
+
+    def test_classify_gop(self):
+        assert classify_gop(["I", "B", "P", "B", "P"]) == "IBP"
+        assert classify_gop(["I", "P", "P"]) == "IP"
+        assert classify_gop(["I", "I"]) == "I"
+        assert classify_gop(["X"]) == "unknown"
+        assert classify_gop([]) == "unknown"
+
+    def test_inspect_recovers_encoder_facts(self):
+        frames = self._frames()
+        report = inspect_frames(frames)
+        assert report.video_bitrate_bps == pytest.approx(300_000, rel=0.2)
+        assert report.gop_kind == "IBP"
+        assert 30 <= report.i_frame_period <= 42
+        assert 20 <= report.average_fps <= 31
+        assert 10 <= report.average_qp <= 51
+
+    def test_inspect_ip_only(self):
+        report = inspect_frames(self._frames(gop="IP"))
+        assert report.gop_kind == "IP"
+
+    def test_missing_frames_detected(self):
+        from repro.media.encoder import GopPattern
+
+        settings = EncoderSettings(target_bps=300_000.0, drop_rate=0.3)
+        content = ContentProcess(CONTENT_PROFILES["indoor_event"], random.Random(9))
+        frames = VideoEncoder(settings, content, random.Random(10)).encode_all(20.0)
+        assert inspect_frames(frames).has_missing_frames
+
+    def test_requires_two_frames(self):
+        with pytest.raises(ValueError):
+            inspect_frames(self._frames()[:1])
+
+    def test_qp_bitrate_points(self):
+        reports = [inspect_frames(self._frames(seed=s)) for s in (1, 2)]
+        points = qp_bitrate_points(reports)
+        assert len(points) == 2
+        assert all(b > 0 and 10 <= q <= 51 for b, q in points)
+
+    def test_audio_bitrate(self):
+        from repro.media.audio import AacEncoderModel
+
+        video = self._frames()
+        audio = AacEncoderModel(random.Random(3), nominal_bps=64_000.0).encode_all(30.0)
+        report = inspect_frames(video, audio)
+        assert report.audio_bitrate_bps == pytest.approx(64_000, rel=0.2)
+        assert report.n_audio_frames == len(audio)
+
+
+def test_cross_validation_capture_vs_player(rtmp_artifacts):
+    """The capture pipeline and the player must agree on media facts."""
+    streams = reassemble_flows(rtmp_artifacts.capture)
+    media = max(
+        (s for s in streams.values() if s.direction == "down"),
+        key=lambda s: s.total_payload_bytes,
+    )
+    frames = extract_rtmp_frames(media)
+    video = [f for _, f in frames if isinstance(f, EncodedFrame)]
+    report = inspect_frames(video)
+    qoe = rtmp_artifacts.qoe
+    assert report.video_bitrate_bps == pytest.approx(qoe.video_bitrate_bps, rel=0.05)
+    assert report.average_qp == pytest.approx(qoe.avg_qp, abs=1.0)

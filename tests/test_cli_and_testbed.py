@@ -1,0 +1,99 @@
+"""Tests for the CLI entry point, the session testbed and StudyConfig."""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.testbed import (
+    DELAY_FLOOR_S,
+    SessionTestbed,
+    TestbedConfig,
+    VIEWER_LOCATION,
+    path_delay_s,
+)
+from repro.experiments.__main__ import DRIVERS, build_parser, main
+from repro.netsim.events import EventLoop
+from repro.service.geo import GeoPoint
+from repro.util.units import MBPS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in DRIVERS:
+            assert name in out
+
+    def test_run_table1(self, capsys):
+        assert main(["table1", "--seed", "3"]) == 0
+        assert "mapGeoBroadcastFeed" in capsys.readouterr().out
+
+    def test_run_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        assert "wifi (paper)" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestStudyConfig:
+    def test_scaled_counts(self):
+        config = StudyConfig(scale=0.1)
+        assert config.scaled(1000) == 100
+        assert config.scaled(3, minimum=5) == 5
+
+    def test_with_scale_copies(self):
+        base = StudyConfig(scale=0.05)
+        bigger = base.with_scale(1.0)
+        assert bigger.scale == 1.0
+        assert base.scale == 0.05
+        assert bigger.seed == base.seed
+
+    def test_limit_bps(self):
+        config = StudyConfig()
+        assert config.limit_bps(2.0) == pytest.approx(2e6)
+        assert config.limit_bps(100.0) == config.access_bandwidth_bps
+
+
+class TestPathDelay:
+    def test_floor_applies(self):
+        assert path_delay_s(VIEWER_LOCATION, VIEWER_LOCATION) == DELAY_FLOOR_S
+
+    def test_monotone_in_distance(self):
+        near = GeoPoint(59.0, 24.0)
+        far = GeoPoint(-33.9, 151.2)
+        assert path_delay_s(VIEWER_LOCATION, far) > path_delay_s(VIEWER_LOCATION, near)
+
+
+class TestSessionTestbed:
+    def make(self):
+        loop = EventLoop()
+        return loop, SessionTestbed(loop, TestbedConfig())
+
+    def test_servers_and_streams(self):
+        loop, tb = self.make()
+        tb.add_server("api", GeoPoint(37.8, -122.4))
+        stream = tb.stream_to("api")
+        assert stream.a_host is tb.phone
+
+    def test_duplicate_server_rejected(self):
+        loop, tb = self.make()
+        tb.add_server("api", GeoPoint(37.8, -122.4))
+        with pytest.raises(ValueError):
+            tb.add_server("api", GeoPoint(0, 0))
+
+    def test_unknown_server_rejected(self):
+        loop, tb = self.make()
+        with pytest.raises(KeyError):
+            tb.stream_to("nope")
+
+    def test_rtt_scales_with_distance(self):
+        loop, tb = self.make()
+        tb.add_server("near", GeoPoint(60.0, 25.0))
+        tb.add_server("far", GeoPoint(-33.9, 151.2))
+        assert tb.rtt_to("far") > tb.rtt_to("near")
+
+    def test_capture_taps_both_directions(self):
+        loop, tb = self.make()
+        directions = {r for r in ("down", "up")}
+        assert len(tb.capture._taps) == 2

@@ -1,0 +1,102 @@
+"""Integration tests for the automated-viewing study harness."""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.qoe import SessionQoE, stall_ratio
+from repro.core.study import AutomatedViewingStudy
+from repro.service.selection import DeliveryProtocol
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    study = AutomatedViewingStudy(StudyConfig(seed=2016))
+    return study, study.run_batch(14)
+
+
+def test_stall_ratio_definition():
+    assert stall_ratio(0.0, 60.0) == 0.0
+    assert stall_ratio(15.0, 45.0) == 0.25
+    assert stall_ratio(0.0, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        stall_ratio(-1.0, 10.0)
+
+
+def test_sessions_complete_and_consistent(small_dataset):
+    _, ds = small_dataset
+    assert len(ds.sessions) == 14
+    for s in ds.sessions:
+        assert s.consistent(), (s.join_time_s, s.playback_s, s.total_stall_s)
+        assert s.watch_seconds == 60.0
+
+
+def test_both_protocols_observed(small_dataset):
+    _, ds = small_dataset
+    protocols = {s.protocol for s in ds.sessions}
+    assert "rtmp" in protocols  # HLS may be absent in a tiny sample
+
+
+def test_devices_alternate(small_dataset):
+    _, ds = small_dataset
+    devices = {s.device for s in ds.sessions}
+    assert devices == {"galaxy-s3", "galaxy-s4"}
+
+
+def test_hls_sessions_come_from_popular_broadcasts(small_dataset):
+    _, ds = small_dataset
+    for s in ds.sessions:
+        if s.protocol == "hls":
+            assert s.avg_viewers >= 50
+        else:
+            assert s.avg_viewers < 150
+
+
+def test_rtmp_delivery_latency_fast(small_dataset):
+    _, ds = small_dataset
+    rtmp = [s for s in ds.by_protocol("rtmp") if s.delivery_latency_s is not None]
+    assert rtmp
+    fast = sum(1 for s in rtmp if s.delivery_latency_s < 0.5)
+    assert fast / len(rtmp) > 0.7
+
+
+def test_dataset_filters(small_dataset):
+    _, ds = small_dataset
+    assert len(ds.by_limit(100.0)) == len(ds.sessions)
+    assert len(ds.by_device("galaxy-s3")) + len(ds.by_device("galaxy-s4")) == len(
+        ds.sessions
+    )
+
+
+def test_forced_protocol_batches():
+    study = AutomatedViewingStudy(StudyConfig(seed=77))
+    ds = study.run_batch(4, forced_protocol=DeliveryProtocol.HLS)
+    assert len(ds.sessions) == 4
+    assert all(s.protocol == "hls" for s in ds.sessions)
+
+
+def test_sweep_produces_all_limits():
+    study = AutomatedViewingStudy(StudyConfig(seed=88))
+    sweep = study.run_bandwidth_sweep(sessions_per_limit=2, limits_mbps=(1.0, 100.0))
+    assert set(sweep) == {1.0, 100.0}
+    assert all(len(ds.sessions) == 2 for ds in sweep.values())
+    for limit, ds in sweep.items():
+        assert all(s.bandwidth_limit_mbps == limit for s in ds.sessions)
+
+
+def test_low_bandwidth_hurts_qoe():
+    study = AutomatedViewingStudy(StudyConfig(seed=99))
+    starved = study.run_batch(6, bandwidth_limit_mbps=0.5)
+    healthy = study.run_batch(6, bandwidth_limit_mbps=100.0)
+
+    def mean_ratio(ds):
+        sessions = ds.sessions
+        return sum(s.stall_ratio for s in sessions) / len(sessions)
+
+    assert mean_ratio(starved) > mean_ratio(healthy) + 0.05
+
+
+def test_study_deterministic():
+    a = AutomatedViewingStudy(StudyConfig(seed=123)).run_batch(3)
+    b = AutomatedViewingStudy(StudyConfig(seed=123)).run_batch(3)
+    assert [s.broadcast_id for s in a.sessions] == [s.broadcast_id for s in b.sessions]
+    assert [s.join_time_s for s in a.sessions] == [s.join_time_s for s in b.sessions]

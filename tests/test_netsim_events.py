@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+
+
+def test_time_starts_at_zero():
+    assert EventLoop().now == 0.0
+
+
+def test_schedule_and_run_orders_by_time():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, lambda: fired.append("b"))
+    loop.schedule(1.0, lambda: fired.append("a"))
+    loop.schedule(3.0, lambda: fired.append("c"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+    assert loop.now == 3.0
+
+
+def test_same_time_fires_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for tag in range(5):
+        loop.schedule(1.0, lambda t=tag: fired.append(t))
+    loop.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        EventLoop().schedule(-0.1, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_run_until_stops_and_sets_time():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(5.0, lambda: fired.append(5))
+    loop.run_until(2.0)
+    assert fired == [1]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_rejects_past():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.run_until(0.5)
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            loop.schedule(1.0, lambda: chain(n + 1))
+
+    loop.schedule(0.0, lambda: chain(0))
+    loop.run()
+    assert fired == [0, 1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_runaway_guard():
+    loop = EventLoop()
+
+    def forever():
+        loop.schedule(0.001, forever)
+
+    loop.schedule(0.0, forever)
+    with pytest.raises(RuntimeError):
+        loop.run(max_events=100)
+
+
+def test_pending_counts_noncancelled():
+    loop = EventLoop()
+    e1 = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert loop.pending() == 1
+
+
+def test_schedule_at_absolute_time():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(2.5, lambda: fired.append(loop.now))
+    loop.run()
+    assert fired == [2.5]

@@ -1,0 +1,88 @@
+"""Tests for the FLV muxer/demuxer."""
+
+import random
+
+import pytest
+
+from repro.media.audio import AacEncoderModel
+from repro.media.content import CONTENT_PROFILES, ContentProcess
+from repro.media.encoder import EncoderSettings, VideoEncoder
+from repro.media.frames import AudioFrame, EncodedFrame
+from repro.protocols import flv
+
+
+def vframe(**overrides):
+    defaults = dict(index=0, pts=0.5, dts=0.5, frame_type="I", nbytes=400,
+                    qp=30.0, complexity=1.0)
+    defaults.update(overrides)
+    return EncodedFrame(**defaults)
+
+
+def test_file_header_shape():
+    header = flv.file_header()
+    assert header[:3] == b"FLV"
+    assert header[3] == 1
+    assert header[4] == 0x05
+    assert len(header) == 13  # 9 header + 4 PreviousTagSize0
+
+
+def test_video_tag_roundtrip():
+    frame = vframe()
+    tags = flv.demux(flv.file_header() + flv.video_tag(frame))
+    assert len(tags) == 1
+    tag = tags[0]
+    assert tag.tag_type == flv.TAG_VIDEO
+    assert tag.timestamp_ms == 500
+    assert tag.frame.frame_type == "I"
+    assert tag.frame.nbytes == 400
+
+
+def test_audio_tag_roundtrip():
+    frame = AudioFrame(index=0, pts=1.25, nbytes=90)
+    tags = flv.demux(flv.file_header() + flv.audio_tag(frame))
+    assert tags[0].tag_type == flv.TAG_AUDIO
+    assert tags[0].timestamp_ms == 1250
+    assert tags[0].frame.nbytes == 90
+
+
+def test_mux_interleaves_by_time():
+    video = [vframe(pts=0.0, dts=0.0), vframe(pts=1.0, dts=1.0, frame_type="P")]
+    audio = [AudioFrame(0, 0.5, 60)]
+    tags = flv.demux(flv.mux(video, audio))
+    assert [t.tag_type for t in tags] == [flv.TAG_VIDEO, flv.TAG_AUDIO, flv.TAG_VIDEO]
+
+
+def test_mux_without_header():
+    data = flv.mux([vframe()], include_header=False)
+    tags = flv.demux(data, has_header=False)
+    assert len(tags) == 1
+
+
+def test_bad_signature_rejected():
+    with pytest.raises(ValueError):
+        flv.demux(b"XXX" + bytes(20))
+
+
+def test_truncated_tag_rejected():
+    data = flv.file_header() + flv.video_tag(vframe())
+    with pytest.raises(ValueError):
+        flv.demux(data[:-3])
+
+
+def test_long_timestamp_uses_extension_byte():
+    frame = vframe(pts=20000.0, dts=20000.0)  # 20,000,000 ms > 24 bits
+    tag = flv.demux(flv.file_header() + flv.video_tag(frame))[0]
+    assert tag.timestamp_ms == 20_000_000
+
+
+def test_full_broadcast_roundtrip():
+    settings = EncoderSettings(target_bps=300_000.0)
+    content = ContentProcess(CONTENT_PROFILES["static_talker"], random.Random(1))
+    video = VideoEncoder(settings, content, random.Random(2)).encode_all(15.0)
+    audio = AacEncoderModel(random.Random(3), nominal_bps=32_000.0).encode_all(15.0)
+    tags = flv.demux(flv.mux(video, audio))
+    assert len(tags) == len(video) + len(audio)
+    video_out = [t.frame for t in tags if t.tag_type == flv.TAG_VIDEO]
+    assert sorted(f.nbytes for f in video_out) == sorted(f.nbytes for f in video)
+    # NTP timestamps survive the container round trip.
+    assert any(f.ntp_timestamp is not None for f in video_out)

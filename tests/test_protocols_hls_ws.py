@@ -1,0 +1,163 @@
+"""Tests for M3U8 playlists, the live window, and WebSocket framing."""
+
+import json
+
+import pytest
+
+from repro.protocols.hls import LiveWindow, MediaPlaylist, PlaylistEntry
+from repro.protocols.websocket import (
+    OPCODE_CLOSE,
+    OPCODE_TEXT,
+    chat_message_json,
+    decode_frames,
+    encode_frame,
+    text_frame_size,
+)
+
+
+class TestMediaPlaylist:
+    def playlist(self):
+        return MediaPlaylist(
+            target_duration_s=4.0,
+            media_sequence=17,
+            entries=[
+                PlaylistEntry("seg17.ts", 3.6, 17),
+                PlaylistEntry("seg18.ts", 3.6, 18),
+                PlaylistEntry("seg19.ts", 4.1, 19),
+            ],
+        )
+
+    def test_render_contains_required_tags(self):
+        text = self.playlist().render()
+        assert text.startswith("#EXTM3U")
+        assert "#EXT-X-TARGETDURATION:" in text
+        assert "#EXT-X-MEDIA-SEQUENCE:17" in text
+        assert text.count("#EXTINF:") == 3
+        assert "#EXT-X-ENDLIST" not in text
+
+    def test_render_parse_roundtrip(self):
+        original = self.playlist()
+        parsed = MediaPlaylist.parse(original.render())
+        assert parsed.media_sequence == 17
+        assert [e.uri for e in parsed.entries] == ["seg17.ts", "seg18.ts", "seg19.ts"]
+        assert parsed.entries[2].duration_s == pytest.approx(4.1, abs=1e-3)
+        assert [e.sequence for e in parsed.entries] == [17, 18, 19]
+        assert not parsed.ended
+
+    def test_ended_playlist(self):
+        playlist = self.playlist()
+        playlist.ended = True
+        assert MediaPlaylist.parse(playlist.render()).ended
+
+    def test_parse_rejects_non_m3u8(self):
+        with pytest.raises(ValueError):
+            MediaPlaylist.parse("hello world")
+
+    def test_parse_rejects_uri_without_extinf(self):
+        with pytest.raises(ValueError):
+            MediaPlaylist.parse("#EXTM3U\nseg0.ts\n")
+
+    def test_unknown_tags_ignored(self):
+        text = self.playlist().render() + "#EXT-X-SOMETHING-NEW:1\n"
+        assert len(MediaPlaylist.parse(text).entries) == 3
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            PlaylistEntry("x.ts", 0.0, 0)
+
+    def test_nbytes_positive(self):
+        assert self.playlist().nbytes > 50
+
+
+class TestLiveWindow:
+    def test_window_slides(self):
+        window = LiveWindow(target_duration_s=3.6, window_size=3)
+        for i in range(5):
+            window.add_segment(f"seg{i}.ts", 3.6)
+        playlist = window.playlist()
+        assert [e.uri for e in playlist.entries] == ["seg2.ts", "seg3.ts", "seg4.ts"]
+        assert playlist.media_sequence == 2
+        assert window.newest_sequence == 4
+
+    def test_entries_after(self):
+        window = LiveWindow(target_duration_s=4.0, window_size=4)
+        for i in range(4):
+            window.add_segment(f"seg{i}.ts", 4.0)
+        new = window.entries_after(1)
+        assert [e.sequence for e in new] == [2, 3]
+
+    def test_end_stream(self):
+        window = LiveWindow(target_duration_s=4.0)
+        window.add_segment("a.ts", 4.0)
+        window.end_stream()
+        assert window.playlist().ended
+        with pytest.raises(RuntimeError):
+            window.add_segment("b.ts", 4.0)
+
+    def test_empty_playlist(self):
+        window = LiveWindow(target_duration_s=4.0)
+        assert window.playlist().entries == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveWindow(target_duration_s=4.0, window_size=0)
+
+
+class TestWebSocket:
+    def test_small_unmasked_roundtrip(self):
+        frames, rest = decode_frames(encode_frame(b"hello"))
+        assert rest == b""
+        assert frames[0].payload == b"hello"
+        assert frames[0].opcode == OPCODE_TEXT
+        assert frames[0].fin
+
+    def test_masked_roundtrip(self):
+        data = encode_frame(b"secret chat", mask_key=b"\x01\x02\x03\x04")
+        frames, _ = decode_frames(data)
+        assert frames[0].masked
+        assert frames[0].payload == b"secret chat"
+
+    def test_mask_key_validation(self):
+        with pytest.raises(ValueError):
+            encode_frame(b"x", mask_key=b"\x01")
+
+    def test_16bit_length(self):
+        payload = b"a" * 300
+        frames, _ = decode_frames(encode_frame(payload))
+        assert frames[0].payload == payload
+
+    def test_64bit_length(self):
+        payload = b"b" * 70_000
+        frames, _ = decode_frames(encode_frame(payload))
+        assert len(frames[0].payload) == 70_000
+
+    def test_partial_frame_returned_as_rest(self):
+        data = encode_frame(b"hello world")
+        frames, rest = decode_frames(data[:4])
+        assert frames == []
+        assert rest == data[:4]
+
+    def test_multiple_frames_in_one_buffer(self):
+        data = encode_frame(b"one") + encode_frame(b"two", opcode=OPCODE_CLOSE)
+        frames, rest = decode_frames(data)
+        assert [f.payload for f in frames] == [b"one", b"two"]
+        assert frames[1].opcode == OPCODE_CLOSE
+
+    def test_text_frame_size_matches_encoding(self):
+        for text in ("hi", "x" * 200, "y" * 70_000):
+            assert text_frame_size(text) == len(encode_frame(text.encode()))
+            assert text_frame_size(text, masked=True) == len(
+                encode_frame(text.encode(), mask_key=b"abcd")
+            )
+
+    def test_frame_json_helpers(self):
+        message = chat_message_json("alice", "hi there", has_avatar=True)
+        data = encode_frame(json.dumps(message).encode())
+        frames, _ = decode_frames(data)
+        parsed = frames[0].json()
+        assert parsed["username"] == "alice"
+        assert "profile_image_url" in parsed
+
+    def test_chat_json_without_avatar(self):
+        message = chat_message_json("bob", "yo", has_avatar=False)
+        assert "profile_image_url" not in message

@@ -1,0 +1,157 @@
+"""Tests for broadcast sampling, calibrated to Section 4 statistics."""
+
+import random
+
+import pytest
+
+from repro.service.broadcast import (
+    BROADCAST_ID_LENGTH,
+    CHAT_FULL_VIEWERS,
+    Broadcast,
+    BroadcastState,
+    make_broadcast_id,
+    sample_broadcast,
+    sample_duration_s,
+    sample_mean_viewers,
+)
+from repro.service.geo import POPULATION_CENTERS, GeoPoint
+
+
+def make(rng=None, start=1000.0, **overrides):
+    rng = rng or random.Random(1)
+    broadcast = sample_broadcast(
+        rng, start_time=start, location=GeoPoint(40.7, -74.0),
+        center=POPULATION_CENTERS[0],
+    )
+    for key, value in overrides.items():
+        setattr(broadcast, key, value)
+    return broadcast
+
+
+def test_broadcast_id_shape():
+    rng = random.Random(3)
+    ids = {make_broadcast_id(rng) for _ in range(100)}
+    assert len(ids) == 100
+    assert all(len(i) == BROADCAST_ID_LENGTH for i in ids)
+    assert all(c.isalnum() for i in ids for c in i)
+
+
+def test_state_transitions():
+    b = make(start=100.0, duration_s=60.0)
+    assert b.state_at(50.0) == BroadcastState.SCHEDULED
+    assert b.state_at(100.0) == BroadcastState.LIVE
+    assert b.state_at(159.9) == BroadcastState.LIVE
+    assert b.state_at(160.0) == BroadcastState.ENDED
+    assert b.end_time == 160.0
+
+
+class TestPopulationStatistics:
+    """The paper's aggregate numbers, reproduced by the samplers."""
+
+    def test_zero_viewer_fraction_above_10_percent(self):
+        rng = random.Random(4)
+        samples = [sample_mean_viewers(rng) for _ in range(20_000)]
+        zero_share = sum(1 for s in samples if s == 0) / len(samples)
+        assert 0.10 < zero_share < 0.14
+
+    def test_over_90_percent_below_20_viewers(self):
+        rng = random.Random(5)
+        samples = [sample_mean_viewers(rng) for _ in range(20_000)]
+        below20 = sum(1 for s in samples if s < 20) / len(samples)
+        assert below20 > 0.90
+
+    def test_some_broadcasts_attract_thousands(self):
+        rng = random.Random(6)
+        samples = [sample_mean_viewers(rng) for _ in range(20_000)]
+        assert max(samples) > 1000
+
+    def test_durations_mostly_1_to_10_minutes(self):
+        rng = random.Random(7)
+        samples = [sample_duration_s(rng, True) for _ in range(10_000)]
+        in_band = sum(1 for s in samples if 60 <= s <= 600) / len(samples)
+        assert in_band > 0.5
+
+    def test_roughly_half_under_4_minutes(self):
+        rng = random.Random(8)
+        viewers = [sample_duration_s(rng, True) for _ in range(9_000)]
+        no_viewers = [sample_duration_s(rng, False) for _ in range(1_100)]
+        combined = viewers + no_viewers
+        under4 = sum(1 for s in combined if s < 240) / len(combined)
+        assert 0.4 < under4 < 0.62
+
+    def test_duration_tail_beyond_a_day(self):
+        rng = random.Random(9)
+        samples = [sample_duration_s(rng, True) for _ in range(50_000)]
+        assert max(samples) > 86_400
+
+    def test_unviewed_broadcasts_much_shorter(self):
+        rng = random.Random(10)
+        viewed = [sample_duration_s(rng, True) for _ in range(5_000)]
+        unviewed = [sample_duration_s(rng, False) for _ in range(5_000)]
+        assert sum(unviewed) / len(unviewed) < 0.4 * (sum(viewed) / len(viewed))
+
+    def test_unviewed_mostly_not_replayable(self):
+        rng = random.Random(11)
+        unviewed = []
+        while len(unviewed) < 1000:
+            b = sample_broadcast(rng, 0.0, GeoPoint(0, 0), POPULATION_CENTERS[0])
+            if not b.has_viewers:
+                unviewed.append(b)
+        replayable = sum(1 for b in unviewed if b.available_for_replay)
+        assert replayable / len(unviewed) < 0.2
+
+
+class TestViewerCurve:
+    def test_zero_outside_lifetime(self):
+        b = make(start=100.0, duration_s=600.0, mean_viewers=50.0)
+        assert b.viewers_at(99.0) == 0.0
+        assert b.viewers_at(701.0) == 0.0
+
+    def test_integrates_to_mean(self):
+        b = make(start=0.0, duration_s=600.0, mean_viewers=40.0)
+        samples = [b.viewers_at(t) for t in range(0, 600, 2)]
+        assert sum(samples) / len(samples) == pytest.approx(40.0, rel=0.05)
+
+    def test_peak_early_then_decay(self):
+        b = make(start=0.0, duration_s=1000.0, mean_viewers=100.0)
+        early = b.viewers_at(150.0)   # at the peak
+        late = b.viewers_at(900.0)
+        assert early > late
+
+    def test_zero_viewer_broadcast_flat_zero(self):
+        b = make(start=0.0, duration_s=600.0, mean_viewers=0.0)
+        assert b.viewers_at(300.0) == 0.0
+
+    def test_chat_full(self):
+        popular = make(start=0.0, duration_s=1000.0, mean_viewers=5 * CHAT_FULL_VIEWERS)
+        quiet = make(start=0.0, duration_s=1000.0, mean_viewers=2.0)
+        assert popular.chat_is_full_at(150.0)
+        assert not quiet.chat_is_full_at(150.0)
+
+
+def test_description_fields():
+    b = make(start=0.0, duration_s=600.0, mean_viewers=10.0)
+    desc = b.description(100.0)
+    assert desc["id"] == b.broadcast_id
+    assert desc["state"] == "RUNNING"
+    assert isinstance(desc["n_watching"], int)
+    assert desc["available_for_replay"] == b.available_for_replay
+    assert b.description(700.0)["state"] == "ENDED"
+
+
+def test_local_start_hour_uses_timezone():
+    b = make(start=0.0)
+    assert b.local_start_hour() == pytest.approx(
+        (0.0 / 3600.0 + b.center.utc_offset_hours) % 24
+    )
+
+
+def test_i_only_broadcasts_get_hot_bitrates():
+    rng = random.Random(12)
+    hot, normal = [], []
+    for _ in range(2000):
+        b = sample_broadcast(rng, 0.0, GeoPoint(0, 0), POPULATION_CENTERS[0])
+        (hot if b.gop.kind == "I" else normal).append(b.target_bitrate_bps)
+    assert hot, "expected some I-only broadcasts in 2000 draws"
+    assert min(hot) > 400_000
+    assert sum(normal) / len(normal) < 450_000

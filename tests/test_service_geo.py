@@ -1,0 +1,89 @@
+"""Tests for the geography model."""
+
+import random
+
+import pytest
+
+from repro.service.geo import (
+    POPULATION_CENTERS,
+    GeoPoint,
+    GeoRect,
+    local_hour,
+    sample_location,
+)
+
+
+def test_geopoint_validation():
+    with pytest.raises(ValueError):
+        GeoPoint(91.0, 0.0)
+    with pytest.raises(ValueError):
+        GeoPoint(0.0, 200.0)
+
+
+def test_distance_wraps_dateline():
+    a = GeoPoint(0.0, 179.0)
+    b = GeoPoint(0.0, -179.0)
+    assert a.distance_deg(b) == pytest.approx(2.0)
+
+
+def test_rect_validation():
+    with pytest.raises(ValueError):
+        GeoRect(10.0, 0.0, -10.0, 5.0)
+    with pytest.raises(ValueError):
+        GeoRect(0.0, 10.0, 5.0, -10.0)
+
+
+def test_rect_contains():
+    rect = GeoRect(0.0, 0.0, 10.0, 10.0)
+    assert rect.contains(GeoPoint(5.0, 5.0))
+    assert rect.contains(GeoPoint(0.0, 0.0))  # boundary inclusive
+    assert not rect.contains(GeoPoint(-1.0, 5.0))
+
+
+def test_quadrants_partition_area():
+    rect = GeoRect(-10.0, -20.0, 30.0, 20.0)
+    quads = rect.quadrants()
+    assert len(quads) == 4
+    assert sum(q.area_deg2 for q in quads) == pytest.approx(rect.area_deg2)
+    # A point is inside exactly one quadrant unless on the split lines.
+    point = GeoPoint(3.123, 7.456)
+    assert sum(1 for q in quads if q.contains(point)) == 1
+
+
+def test_world_rect_covers_everything():
+    world = GeoRect.world()
+    rng = random.Random(1)
+    for _ in range(100):
+        location, _ = sample_location(rng)
+        assert world.contains(location)
+
+
+def test_sample_location_clusters_near_centers():
+    rng = random.Random(2)
+    near = 0
+    trials = 500
+    for _ in range(trials):
+        location, center = sample_location(rng)
+        if location.distance_deg(center.location) < 4 * center.spread_deg:
+            near += 1
+    assert near / trials > 0.95
+
+
+def test_population_weights_positive():
+    assert all(c.weight > 0 for c in POPULATION_CENTERS)
+    # No center in Africa (the paper found no ingest server there either).
+    assert not any(-18 < c.location.lon < 50 and -35 < c.location.lat < 15
+                   for c in POPULATION_CENTERS)
+
+
+def test_local_hour():
+    assert local_hour(0.0, 0) == 0.0
+    assert local_hour(3600.0 * 25, 0) == pytest.approx(1.0)
+    assert local_hour(0.0, 3) == 3.0
+    assert local_hour(3600.0 * 23, 3) == pytest.approx(2.0)
+
+
+def test_rect_key_hashable():
+    rect = GeoRect(0.0, 0.0, 1.0, 1.0)
+    assert rect.key() == (0.0, 0.0, 1.0, 1.0)
+    assert {rect.key(): 1}

@@ -1,0 +1,125 @@
+"""Tests for the living service world."""
+
+import random
+
+import pytest
+
+from repro.service.geo import GeoRect
+from repro.service.world import ServiceWorld, WorldParameters
+
+
+def small_world(mean_concurrent=300, seed=1, **overrides):
+    params = WorldParameters(mean_concurrent=mean_concurrent, **overrides)
+    return ServiceWorld(params, seed=seed)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        WorldParameters(mean_concurrent=0)
+    with pytest.raises(ValueError):
+        WorldParameters(undisclosed_fraction=1.2)
+    with pytest.raises(ValueError):
+        WorldParameters(private_fraction=-0.1)
+
+
+def test_warm_start_population():
+    world = small_world()
+    live = world.live_count()
+    assert 0.4 * 300 < live < 2.5 * 300
+
+
+def test_concurrency_roughly_stable_over_time():
+    world = small_world(seed=2)
+    counts = []
+    for hour in range(1, 7):
+        world.advance_to(hour * 3600.0)
+        counts.append(world.live_count())
+    assert all(50 < c < 900 for c in counts)
+
+
+def test_cannot_move_backwards():
+    world = small_world()
+    world.advance_to(100.0)
+    with pytest.raises(ValueError):
+        world.advance_to(50.0)
+
+
+def test_broadcasts_end_and_are_garbage_collected():
+    world = small_world(seed=3, ended_grace_s=60.0)
+    world.advance_to(600.0)
+    some_live = world.live_broadcasts()[:20]
+    victim = min(some_live, key=lambda b: b.end_time)
+    world.advance_to(victim.end_time + 1.0)
+    assert world.get_broadcast(victim.broadcast_id) is victim  # in grace
+    world.advance_to(victim.end_time + 120.0)
+    assert world.get_broadcast(victim.broadcast_id) is None  # forgotten
+
+
+def test_query_map_filters_region():
+    world = small_world(seed=4)
+    europe = GeoRect(35.0, -10.0, 70.0, 40.0)
+    result = world.query_map(europe)
+    assert all(europe.contains(b.location) for b in result)
+
+
+def test_query_map_cap_and_zoom_reveals_more():
+    world = small_world(mean_concurrent=800, seed=5)
+    whole = GeoRect.world()
+    top_level = world.query_map(whole)
+    assert len(top_level) <= world.params.map_response_cap
+    # Zooming: union over quadrants finds at least as many as top level.
+    seen = {b.broadcast_id for b in top_level}
+    for quad in whole.quadrants():
+        seen.update(b.broadcast_id for b in world.query_map(quad))
+    assert len(seen) >= len(top_level)
+
+
+def test_query_map_excludes_private_and_undisclosed():
+    world = small_world(seed=6)
+    result = world.query_map(GeoRect.world())
+    assert all(not b.is_private for b in result)
+    assert all(b.description_has_location for b in result)
+
+
+def test_ranked_list_sorted_by_viewers():
+    world = small_world(seed=7)
+    ranked = world.ranked_broadcasts(count=80)
+    assert len(ranked) <= 80
+    viewers = [b.viewers_at(world.now) for b in ranked]
+    assert viewers == sorted(viewers, reverse=True)
+
+
+def test_teleport_returns_live_public_broadcast():
+    world = small_world(seed=8)
+    rng = random.Random(99)
+    for _ in range(50):
+        b = world.teleport(rng)
+        assert b is not None
+        assert b.is_live_at(world.now)
+        assert not b.is_private
+
+
+def test_teleport_popularity_bias():
+    world = small_world(mean_concurrent=500, seed=9)
+    rng = random.Random(100)
+    picks = [world.teleport(rng) for _ in range(300)]
+    picked_mean = sum(b.mean_viewers for b in picks) / len(picks)
+    population = world.live_broadcasts()
+    population_mean = sum(b.mean_viewers for b in population) / len(population)
+    assert picked_mean > 2 * population_mean
+
+
+def test_deterministic_given_seed():
+    a = small_world(seed=11)
+    b = small_world(seed=11)
+    assert {x.broadcast_id for x in a.live_broadcasts()} == {
+        x.broadcast_id for x in b.live_broadcasts()
+    }
+
+
+def test_different_seeds_differ():
+    a = small_world(seed=12)
+    b = small_world(seed=13)
+    assert {x.broadcast_id for x in a.live_broadcasts()} != {
+        x.broadcast_id for x in b.live_broadcasts()
+    }

@@ -1,0 +1,98 @@
+"""Unit and property tests for ECDF and boxplot summaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.empirical import Ecdf, ecdf, five_number_summary
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+def test_ecdf_basic_fractions():
+    e = Ecdf([1.0, 2.0, 2.0, 4.0])
+    assert e(0.5) == 0.0
+    assert e(1.0) == 0.25
+    assert e(2.0) == 0.75
+    assert e(4.0) == 1.0
+    assert e(100.0) == 1.0
+
+
+def test_ecdf_requires_samples():
+    with pytest.raises(ValueError):
+        Ecdf([])
+
+
+def test_ecdf_quantile_interpolation():
+    e = Ecdf([0.0, 10.0])
+    assert e.quantile(0.5) == 5.0
+    assert e.quantile(0.0) == 0.0
+    assert e.quantile(1.0) == 10.0
+
+
+def test_ecdf_quantile_validation():
+    with pytest.raises(ValueError):
+        Ecdf([1.0]).quantile(1.5)
+
+
+def test_ecdf_points_monotone():
+    e = ecdf([3.0, 1.0, 2.0])
+    pts = e.points()
+    assert pts == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+def test_ecdf_series_grid():
+    e = ecdf([1.0, 2.0, 3.0, 4.0])
+    series = e.series([0, 2, 5])
+    assert series == [(0, 0.0), (2, 0.5), (5, 1.0)]
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_ecdf_is_monotone_nondecreasing(samples):
+    e = Ecdf(samples)
+    xs = sorted(samples)
+    values = [e(x) for x in xs]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[-1] == 1.0
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200), st.floats(0, 1))
+def test_ecdf_quantile_within_range(samples, q):
+    e = Ecdf(samples)
+    v = e.quantile(q)
+    assert e.min <= v <= e.max
+
+
+def test_five_number_summary_simple():
+    s = five_number_summary([1, 2, 3, 4, 5])
+    assert s.median == 3
+    assert s.q1 == 2
+    assert s.q3 == 4
+    assert s.low_whisker == 1
+    assert s.high_whisker == 5
+    assert s.n_outliers == 0
+    assert s.n == 5
+
+
+def test_five_number_summary_outliers():
+    s = five_number_summary([1, 2, 3, 4, 5, 100])
+    assert s.n_outliers == 1
+    assert s.high_whisker == 5
+
+
+def test_five_number_summary_requires_samples():
+    with pytest.raises(ValueError):
+        five_number_summary([])
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100))
+def test_five_number_summary_ordering_invariant(samples):
+    s = five_number_summary(samples)
+    assert s.low_whisker <= s.q1 <= s.median <= s.q3 <= s.high_whisker
+    assert 0 <= s.n_outliers <= s.n
+
+
+def test_row_shape():
+    s = five_number_summary([1.0, 2.0, 3.0])
+    assert len(s.row()) == 5
+    assert s.iqr == s.q3 - s.q1
