@@ -70,6 +70,14 @@ class StudyConfig:
     #: via the CDN (paper estimates ≈100).
     hls_viewer_threshold: int = 100
 
+    # --------------------------------------------------------------- telemetry
+    #: Opt-in observability (see :mod:`repro.obs`).  Both default off;
+    #: enabling them never changes simulation results — metrics, spans,
+    #: and the event-loop profile observe without consuming RNG or
+    #: reordering events (guarded by a determinism regression test).
+    metrics_enabled: bool = False
+    tracing_enabled: bool = False
+
     # ------------------------------------------------------------------ network
     #: Unshaped access bandwidth of the tethered phone (paper: >100 Mbps).
     access_bandwidth_bps: float = 100.0 * MBPS

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.automation.devices import DeviceProfile
 from repro.automation.ntp import BROADCASTER_PHONE_CLOCK, CAPTURE_DESKTOP_CLOCK
 from repro.automation.shaping import shaper_for_limit
@@ -120,6 +121,16 @@ class ViewingSession:
         setup = self.setup
         loop = self.loop
         tb = self.testbed
+        telemetry = obs.active()
+        session_span = None
+        if telemetry.enabled and telemetry.tracing_on:
+            session_span = telemetry.tracer.begin(
+                "session", sim_time=0.0,
+                broadcast_id=setup.broadcast.broadcast_id,
+                protocol=setup.protocol.value,
+                device=setup.device.name,
+                bandwidth_limit_mbps=setup.bandwidth_limit_mbps,
+            )
         tb.add_server("api", API_LOCATION)
         tb.add_server("media", self._media_server_location())
         tb.add_server("chat", CHAT_LOCATION)
@@ -244,6 +255,13 @@ class ViewingSession:
         loop.run_until(setup.watch_seconds + 2.0)
 
         qoe = self._build_qoe(report)
+        if telemetry.enabled:
+            end_time = setup.watch_seconds + 2.0
+            if session_span is not None:
+                self._record_lifecycle_spans(telemetry, session_span, report,
+                                             end_time)
+            if telemetry.metrics_on:
+                self._record_session_metrics(telemetry, report)
         return SessionArtifacts(
             qoe=qoe,
             capture=tb.capture,
@@ -347,6 +365,61 @@ class ViewingSession:
         self._player = player
         # Process pre-join history once the driver has generated it.
         self.loop.schedule(0.0, origin.start)
+
+    # ------------------------------------------------------------- telemetry
+
+    def _record_lifecycle_spans(self, telemetry, session_span, report,
+                                end_time: float) -> None:
+        """Reconstruct join → playback → stalls → teardown as sim-time
+        child spans of the session span, from the playback report."""
+        tracer = telemetry.tracer
+        watch = self.setup.watch_seconds
+        if not report.started:
+            tracer.record("session.join", 0.0, end_time, parent=session_span,
+                          started=False)
+            tracer.end(session_span, sim_time=end_time)
+            return
+        tracer.record("session.join", 0.0, report.join_time_s,
+                      parent=session_span)
+        cursor = report.join_time_s
+        for stall in sorted(report.stalls, key=lambda s: s.start):
+            if stall.start > cursor:
+                tracer.record("session.playback", cursor, stall.start,
+                              parent=session_span)
+            tracer.record("session.stall", stall.start,
+                          stall.start + stall.duration, parent=session_span)
+            cursor = stall.start + stall.duration
+        if cursor < watch:
+            tracer.record("session.playback", cursor, watch,
+                          parent=session_span)
+        tracer.record("session.teardown", watch, end_time,
+                      parent=session_span)
+        tracer.end(session_span, sim_time=end_time)
+
+    def _record_session_metrics(self, telemetry, report) -> None:
+        setup = self.setup
+        metrics = telemetry.metrics
+        protocol = setup.protocol.value
+        limit = f"{setup.bandwidth_limit_mbps:g}"
+        metrics.counter(
+            "sessions_total", "Viewing sessions completed",
+            protocol=protocol, limit=limit, device=setup.device.name,
+        ).inc()
+        metrics.histogram(
+            "session_join_seconds", "Join time per session",
+            protocol=protocol,
+        ).observe(report.join_time_s)
+        if report.started and setup.watch_seconds > 0:
+            metrics.histogram(
+                "session_stall_ratio",
+                "Stall time share of the watch window",
+                buckets=(0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+                protocol=protocol, limit=limit,
+            ).observe(report.total_stall_s / setup.watch_seconds)
+            metrics.counter(
+                "session_stalls_total", "Stalls across sessions",
+                protocol=protocol, limit=limit,
+            ).inc(report.stall_count)
 
     # --------------------------------------------------------------- reporting
 

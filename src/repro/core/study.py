@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.automation.devices import GALAXY_S3, GALAXY_S4, DeviceProfile
 from repro.core.config import StudyConfig
 from repro.core.qoe import SessionQoE
@@ -56,6 +57,8 @@ class AutomatedViewingStudy:
 
     def __init__(self, config: StudyConfig) -> None:
         self.config = config
+        obs.ensure_active(metrics=config.metrics_enabled,
+                          tracing=config.tracing_enabled)
         self.world = ServiceWorld(
             WorldParameters(mean_concurrent=config.scaled(config.concurrent_broadcasts,
                                                           minimum=600)),
@@ -128,6 +131,9 @@ class AutomatedViewingStudy:
         """Run ``n_sessions`` Teleport sessions at one bandwidth limit."""
         dataset = StudyDataset()
         attempts = 0
+        telemetry = obs.active()
+        metrics_on = telemetry.enabled and telemetry.metrics_on
+        limit_label = f"{bandwidth_limit_mbps:g}"
         while len(dataset.sessions) < n_sessions and attempts < n_sessions * 4:
             attempts += 1
             setup = self._next_setup(
@@ -136,12 +142,29 @@ class AutomatedViewingStudy:
                 cache_avatars=cache_avatars,
                 forced_protocol=forced_protocol,
             )
+            if metrics_on:
+                telemetry.metrics.counter(
+                    "study_teleport_attempts_total",
+                    "Teleport attempts (incl. dead/new-broadcast retries)",
+                    limit=limit_label,
+                ).inc()
             if setup is None:
                 continue
             artifacts = self.run_session(setup)
             dataset.sessions.append(artifacts.qoe)
             dataset.avatar_bytes.append(artifacts.avatar_bytes)
             dataset.down_bytes.append(artifacts.total_down_bytes)
+            if metrics_on:
+                metrics = telemetry.metrics
+                metrics.counter(
+                    "study_sessions_total", "Study sessions completed",
+                    limit=limit_label,
+                ).inc()
+                metrics.gauge(
+                    "study_limit_progress",
+                    "Sessions completed toward the per-limit target",
+                    limit=limit_label,
+                ).set(float(len(dataset.sessions)))
         return dataset
 
     def run_unlimited(self, n_sessions: Optional[int] = None) -> StudyDataset:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.crawler.client import CrawlClient
 from repro.protocols.http import HttpResponse
 from repro.service.geo import GeoRect
@@ -125,6 +126,24 @@ class DeepCrawler:
             AreaRecord(rect=rect, depth=depth, queried_at=now,
                        broadcast_ids=ids, new_ids=len(new_ids))
         )
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            metrics = telemetry.metrics
+            metrics.counter(
+                "crawl_areas_queried_total", "Map areas queried by deep crawls",
+                identity=self.client.identity,
+            ).inc()
+            metrics.counter(
+                "crawl_broadcasts_discovered_total",
+                "Distinct broadcasts first seen by deep crawls",
+                identity=self.client.identity,
+            ).inc(len(new_ids))
+            metrics.histogram(
+                "crawl_area_yield_broadcasts",
+                "Broadcasts returned per map query",
+                buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+                identity=self.client.identity,
+            ).observe(float(len(ids)))
         should_zoom = (
             depth < self.max_depth
             and len(ids) >= self.min_result_to_zoom

@@ -8,14 +8,27 @@ Run any paper table/figure from the shell::
 
 Workbench-backed figures share one dataset per invocation; sizes are
 laptop-scale by default and adjustable with the flags below.
+
+Telemetry (see :mod:`repro.obs`) is opt-in::
+
+    python -m repro.experiments fig3 --metrics -          # dump to stdout
+    python -m repro.experiments fig3 --metrics run.prom \\
+        --trace-out run-trace.jsonl
+
+``--metrics`` enables the metrics registry and the event-loop profiler
+and writes a Prometheus-style text dump plus an ASCII summary at exit;
+``--trace-out`` enables sim-time tracing spans and writes them as JSONL.
+Figures are also accepted under their module names (``fig3_stalls``,
+``sec5_ttests``, ...).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
+from repro import obs
 from repro.experiments import (
     fig1_crawl,
     fig2_usage,
@@ -31,6 +44,7 @@ from repro.experiments import (
     table1_api,
 )
 from repro.experiments.common import Workbench
+from repro.obs.export import render_prometheus, render_summary, write_trace_jsonl
 
 #: name -> (needs_workbench, runner)
 DRIVERS: Dict[str, tuple] = {
@@ -48,20 +62,63 @@ DRIVERS: Dict[str, tuple] = {
     "codecs": (False, lambda wb, seed: sec52_codecs.run(seed=seed)),
 }
 
+#: Module-style aliases, so ``fig3_stalls`` works where ``fig3`` does.
+ALIASES: Dict[str, str] = {
+    "table1_api": "table1",
+    "fig1_crawl": "fig1",
+    "fig2_usage": "fig2",
+    "fig3_stalls": "fig3",
+    "fig4_latency": "fig4",
+    "fig5_delivery": "fig5",
+    "fig6_quality": "fig6",
+    "fig7_power": "fig7",
+    "sec5_ttests": "ttests",
+    "sec5_protocol": "protocol",
+    "sec51_chat": "chat",
+    "sec52_codecs": "codecs",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("figure", choices=sorted(DRIVERS) + ["all", "list"],
-                        help="which experiment to run")
+    parser.add_argument(
+        "figure",
+        choices=sorted(DRIVERS) + sorted(ALIASES) + ["all", "list"],
+        metavar="figure",
+        help="which experiment to run (module-style names are aliases; "
+             "'list' prints the canonical names)",
+    )
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--sessions", type=int, default=90,
                         help="unlimited-bandwidth session count")
     parser.add_argument("--per-limit", type=int, default=6,
                         help="sessions per bandwidth limit in the sweep")
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable metrics + event-loop profiling; write a "
+             "Prometheus-style dump to PATH ('-' for stdout) at exit",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable sim-time tracing; write spans as JSONL to PATH "
+             "('-' for stdout) at exit",
+    )
     return parser
+
+
+def _write_output(path: str, content: str) -> None:
+    if path == "-":
+        sys.stdout.write(content)
+        if not content.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as sink:
+            sink.write(content)
+            if not content.endswith("\n"):
+                sink.write("\n")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -70,17 +127,44 @@ def main(argv: Optional[list] = None) -> int:
         for name in sorted(DRIVERS):
             print(name)
         return 0
-    workbench = Workbench(
-        seed=args.seed,
-        unlimited_sessions=args.sessions,
-        sweep_sessions_per_limit=args.per_limit,
-    )
-    names = sorted(DRIVERS) if args.figure == "all" else [args.figure]
-    for name in names:
-        _, runner = DRIVERS[name]
-        print(f"=== {name} ===")
-        print(runner(workbench, args.seed).render())
-        print()
+    telemetry: Optional[obs.Telemetry] = None
+    if args.metrics is not None or args.trace_out is not None:
+        telemetry = obs.activate(obs.Telemetry(
+            metrics=args.metrics is not None,
+            tracing=args.trace_out is not None,
+            profiling=args.metrics is not None,
+        ))
+    try:
+        workbench = Workbench(
+            seed=args.seed,
+            unlimited_sessions=args.sessions,
+            sweep_sessions_per_limit=args.per_limit,
+            metrics=args.metrics is not None,
+            tracing=args.trace_out is not None,
+        )
+        figure = ALIASES.get(args.figure, args.figure)
+        names = sorted(DRIVERS) if figure == "all" else [figure]
+        for name in names:
+            _, runner = DRIVERS[name]
+            print(f"=== {name} ===")
+            print(runner(workbench, args.seed).render())
+            print()
+        if telemetry is not None:
+            if args.trace_out is not None:
+                if args.trace_out == "-":
+                    _write_output("-", telemetry.tracer.to_jsonl())
+                else:
+                    with open(args.trace_out, "w", encoding="utf-8") as sink:
+                        write_trace_jsonl(telemetry, sink)
+                    print(f"trace: {len(telemetry.tracer.spans)} spans -> "
+                          f"{args.trace_out}")
+            if args.metrics is not None:
+                _write_output(args.metrics, render_prometheus(telemetry))
+                print()
+                print(render_summary(telemetry))
+    finally:
+        if telemetry is not None:
+            obs.deactivate()
     return 0
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.config import StudyConfig
 from repro.core.study import AutomatedViewingStudy, StudyDataset
 from repro.crawler.client import CrawlHarness
@@ -29,8 +30,14 @@ class Workbench:
         crawl_world_concurrent: int = 900,
         deep_crawls: int = 4,
         targeted_duration_s: float = 2400.0,
+        metrics: bool = False,
+        tracing: bool = False,
     ) -> None:
-        self.config = StudyConfig(seed=seed)
+        self.config = StudyConfig(seed=seed, metrics_enabled=metrics,
+                                  tracing_enabled=tracing)
+        #: Activate telemetry up front so loops built by crawls (which do
+        #: not go through AutomatedViewingStudy) are profiled too.
+        self.telemetry = obs.ensure_active(metrics=metrics, tracing=tracing)
         self.seed = seed
         self.unlimited_sessions = unlimited_sessions
         self.sweep_sessions_per_limit = sweep_sessions_per_limit

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.netsim.events import EventLoop
 from repro.netsim.packet import Packet
 
@@ -71,15 +72,37 @@ class Link:
         now = self.loop.now
         for observer in self._taps:
             observer(packet, now)
+        queue_wait = max(0.0, self._busy_until - now)
         start = max(now, self._busy_until)
         if self.shaper is not None:
             start = max(start, self.shaper.earliest_start(packet.wire_bytes, start))
             self.shaper.consume(packet.wire_bytes, start)
+        throttle_wait = start - max(now, self._busy_until)
         tx_time = packet.wire_bytes * 8.0 / self.rate_bps
         self._busy_until = start + tx_time
         self.bytes_carried += packet.wire_bytes
         self.packets_carried += 1
         arrival = self._busy_until + self.delay_s
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            metrics = telemetry.metrics
+            metrics.counter(
+                "netsim_link_packets_total", "Packets entering the link",
+                link=self.name,
+            ).inc()
+            metrics.counter(
+                "netsim_link_bytes_total", "Wire bytes entering the link",
+                link=self.name,
+            ).inc(packet.wire_bytes)
+            metrics.histogram(
+                "netsim_link_queue_delay_seconds",
+                "Serialization-queue wait per packet", link=self.name,
+            ).observe(queue_wait)
+            if throttle_wait > 0.0:
+                metrics.counter(
+                    "netsim_link_throttle_seconds_total",
+                    "Token-bucket shaping delay", link=self.name,
+                ).inc(throttle_wait)
         self.loop.schedule_at(arrival, lambda p=packet: self._arrive(p))
 
     def _arrive(self, packet: Packet) -> None:

@@ -1,0 +1,164 @@
+"""``repro.obs`` — simulation-wide telemetry.
+
+One :class:`Telemetry` object bundles the three instruments:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters,
+  gauges, and streaming histograms;
+* :class:`~repro.obs.tracing.Tracer` — nested sim-time spans with
+  wall-clock cost, exported as JSONL;
+* :class:`~repro.obs.profiler.EventLoopProfiler` — per-callback-site
+  event counts and wall-time attribution across every event loop.
+
+Instrumented code asks for the *active* telemetry and bails out on one
+attribute check when it is disabled::
+
+    from repro import obs
+    telemetry = obs.active()
+    if telemetry.enabled:
+        telemetry.metrics.counter("player_stalls_total").inc()
+
+Telemetry is **off by default**: :func:`active` returns a permanently
+disabled singleton until :func:`activate` (or the :func:`session`
+context manager, or a :class:`~repro.core.config.StudyConfig` with its
+telemetry flags set) installs a live one.  None of the instruments
+consume RNG or schedule events, so enabling them cannot change
+simulation results — the determinism regression test holds the repo to
+that.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import EventLoopProfiler, callback_site
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "EventLoopProfiler", "callback_site", "Span", "Tracer",
+    "Telemetry", "active", "activate", "deactivate", "ensure_active",
+    "session",
+]
+
+
+class Telemetry:
+    """A live telemetry bundle.  ``enabled`` gates every instrument."""
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        tracing: bool = True,
+        profiling: bool = True,
+    ) -> None:
+        self.enabled = True
+        self.metrics_on = metrics
+        self.tracing_on = tracing
+        self.profiling_on = profiling
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.profiler = EventLoopProfiler()
+        if metrics:
+            self._declare_core_series()
+
+    def _declare_core_series(self) -> None:
+        """Pre-register the headline series so every Prometheus dump
+        names them (HELP/TYPE) even when a run never throttles, stalls,
+        or crawls — absence of events should read as zero, not as a
+        missing metric."""
+        declare = self.metrics.declare
+        declare("http_429_total", "counter", "Rate-limited responses")
+        declare("api_throttled_total", "counter",
+                "apiRequest commands answered 429")
+        declare("netsim_link_queue_delay_seconds", "histogram",
+                "Time spent queued behind earlier transmissions")
+        declare("netsim_link_throttle_seconds_total", "counter",
+                "Token-bucket shaping delay")
+        declare("player_stalls_total", "counter",
+                "Playback underruns (stall begins)")
+        declare("player_stall_seconds", "histogram",
+                "Stall durations")
+        declare("crawl_areas_queried_total", "counter",
+                "Map areas queried by crawlers")
+        declare("crawl_broadcasts_discovered_total", "counter",
+                "Distinct broadcasts discovered by crawlers")
+
+    def loop_profiler(self) -> Optional[EventLoopProfiler]:
+        """The shared profiler for a newly built event loop (or None)."""
+        if self.enabled and self.profiling_on:
+            return self.profiler
+        return None
+
+
+class _DisabledTelemetry(Telemetry):
+    """The default: every gate closed, instruments inert placeholders."""
+
+    def __init__(self) -> None:
+        super().__init__(metrics=False, tracing=False, profiling=False)
+        self.enabled = False
+
+
+_DISABLED = _DisabledTelemetry()
+_active: Telemetry = _DISABLED
+
+
+def active() -> Telemetry:
+    """The currently active telemetry (a disabled singleton by default)."""
+    return _active
+
+
+def activate(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Install ``telemetry`` (or a fresh fully-enabled one) as active."""
+    global _active
+    _active = telemetry if telemetry is not None else Telemetry()
+    return _active
+
+
+def deactivate() -> None:
+    """Restore the disabled default."""
+    global _active
+    _active = _DISABLED
+
+
+def ensure_active(
+    metrics: bool = False,
+    tracing: bool = False,
+    profiling: Optional[bool] = None,
+) -> Telemetry:
+    """Activate telemetry if any flag asks for it and none is active yet.
+
+    This is how :class:`~repro.core.config.StudyConfig` opt-in flags take
+    effect without every constructor threading a telemetry handle.
+    """
+    if not (metrics or tracing):
+        return _active
+    if not _active.enabled:
+        activate(Telemetry(
+            metrics=metrics,
+            tracing=tracing,
+            profiling=metrics if profiling is None else profiling,
+        ))
+    return _active
+
+
+@contextlib.contextmanager
+def session(
+    metrics: bool = True,
+    tracing: bool = True,
+    profiling: bool = True,
+) -> Iterator[Telemetry]:
+    """Scoped activation: install a fresh telemetry, restore on exit."""
+    previous = _active
+    telemetry = Telemetry(metrics=metrics, tracing=tracing, profiling=profiling)
+    activate(telemetry)
+    try:
+        yield telemetry
+    finally:
+        activate(previous) if previous.enabled else deactivate()

@@ -1,0 +1,153 @@
+"""Telemetry exporters: Prometheus text dump, JSONL trace, ASCII summary.
+
+The Prometheus dump follows the text exposition format (``# HELP`` /
+``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` / ``_count`` series
+for histograms) so the output can be diffed, grepped, or actually
+scraped.  The end-of-run summary reuses the repo's own
+:func:`repro.analysis.charts.render_table` so telemetry renders like
+every other figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import IO, List, Sequence
+
+from repro.analysis.charts import render_table
+from repro.obs import Telemetry
+from repro.obs.metrics import Counter, Gauge, Histogram, LabelKey
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(key: LabelKey, extra: Sequence[str] = ()) -> str:
+    parts = [f'{name}="{value}"' for name, value in key]
+    parts.extend(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """The whole registry (plus the event-loop profile) as Prometheus
+    text exposition format."""
+    lines: List[str] = []
+    for family in telemetry.metrics.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.children):
+            child = family.children[key]
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{_label_str(key)} {_format_value(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    list(child.buckets) + [math.inf], child.bucket_counts
+                ):
+                    cumulative += count
+                    le = _label_str(key, (f'le="{_format_value(bound)}"',))
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{family.name}_sum{_label_str(key)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_label_str(key)} {child.count}")
+    # Event-loop profile as synthesized series.
+    profiler = telemetry.profiler
+    if profiler.sites:
+        lines.append("# HELP eventloop_callbacks_total Fired callbacks per site")
+        lines.append("# TYPE eventloop_callbacks_total counter")
+        for site, count, _ in profiler.table():
+            lines.append(f'eventloop_callbacks_total{{site="{site}"}} {count}')
+        lines.append("# HELP eventloop_callback_wall_seconds_total Wall time per site")
+        lines.append("# TYPE eventloop_callback_wall_seconds_total counter")
+        for site, _, wall_s in profiler.table():
+            lines.append(
+                f'eventloop_callback_wall_seconds_total{{site="{site}"}} {wall_s:.6f}'
+            )
+        lines.append("# TYPE eventloop_queue_depth_high_water gauge")
+        lines.append(
+            f"eventloop_queue_depth_high_water {profiler.queue_depth_high_water}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_summary(telemetry: Telemetry) -> str:
+    """End-of-run ASCII summary: metrics, quantiles, and the profile."""
+    parts: List[str] = []
+
+    scalar_rows = []
+    histogram_rows = []
+    for family, key, child in telemetry.metrics.collect():
+        labels = ",".join(f"{k}={v}" for k, v in key) or "-"
+        if isinstance(child, (Counter, Gauge)):
+            scalar_rows.append(
+                [family.name, family.kind, labels, f"{child.value:g}"]
+            )
+        elif isinstance(child, Histogram) and child.count:
+            histogram_rows.append([
+                family.name, labels, child.count,
+                f"{child.mean():.4g}",
+                f"{child.quantile(0.5):.4g}",
+                f"{child.quantile(0.95):.4g}",
+                f"{child.quantile(0.99):.4g}",
+                f"{child.max:.4g}",
+            ])
+    if scalar_rows:
+        parts.append("== metrics: counters & gauges ==")
+        parts.append(render_table(["metric", "kind", "labels", "value"], scalar_rows))
+    if histogram_rows:
+        parts.append("")
+        parts.append("== metrics: histograms ==")
+        parts.append(render_table(
+            ["metric", "labels", "n", "mean", "p50", "p95", "p99", "max"],
+            histogram_rows,
+        ))
+
+    profiler = telemetry.profiler
+    if profiler.sites:
+        parts.append("")
+        parts.append("== event-loop profile ==")
+        total_wall = sum(wall for _, _, wall in profiler.table()) or 1.0
+        profile_rows = [
+            [site, count, f"{wall * 1e3:.2f}", f"{100.0 * wall / total_wall:.1f}%"]
+            for site, count, wall in profiler.table()
+        ]
+        parts.append(render_table(
+            ["callback site", "events", "wall ms", "share"], profile_rows
+        ))
+        parts.append(
+            f"events profiled: {profiler.events_profiled}; "
+            f"queue-depth high water: {profiler.queue_depth_high_water}"
+        )
+
+    tracer = telemetry.tracer
+    if tracer.spans:
+        parts.append("")
+        parts.append("== trace ==")
+        by_name: dict = {}
+        for span in tracer.spans:
+            agg = by_name.setdefault(span.name, [0, 0.0, 0.0])
+            agg[0] += 1
+            agg[1] += span.sim_duration or 0.0
+            agg[2] += span.wall_duration or 0.0
+        trace_rows = [
+            [name, n, f"{sim_s:.3f}", f"{wall_s * 1e3:.2f}"]
+            for name, (n, sim_s, wall_s) in sorted(by_name.items())
+        ]
+        parts.append(render_table(
+            ["span", "n", "sim s (total)", "wall ms (total)"], trace_rows
+        ))
+
+    return "\n".join(parts) if parts else "(no telemetry recorded)"
+
+
+def write_trace_jsonl(telemetry: Telemetry, sink: IO[str]) -> int:
+    """Write the trace to an open text stream; returns spans written."""
+    return telemetry.tracer.write_jsonl(sink)

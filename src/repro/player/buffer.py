@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core.qoe import StallEvent
 from repro.netsim.events import Event, EventLoop
 
@@ -84,6 +85,13 @@ class PlayoutBuffer:
         if upto_pts <= self._buffered_until and self._playing:
             return
         self._buffered_until = max(self._buffered_until, upto_pts)
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            telemetry.metrics.histogram(
+                "player_buffer_level_seconds",
+                "Playable media ahead of the playhead, sampled per arrival",
+                buckets=(0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            ).observe(self.buffer_level_s())
         if not self._playing:
             self._maybe_start_or_resume()
         else:
@@ -130,16 +138,31 @@ class PlayoutBuffer:
             if self._buffered_until - self._play_origin >= self.start_threshold_s:
                 self._started_at = now
                 self._anchor_media = self._play_origin
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.metrics_on:
+                    telemetry.metrics.histogram(
+                        "player_join_seconds",
+                        "Session start to first displayed frame",
+                    ).observe(now - self.session_start)
                 self._begin_playing(now)
         elif self._stall_started_at is not None:
             if self._buffered_until - self._anchor_media >= self.rebuffer_threshold_s:
+                stall_duration = now - self._stall_started_at
                 self._stalls.append(
                     StallEvent(
                         start=self._stall_started_at,
-                        duration=now - self._stall_started_at,
+                        duration=stall_duration,
                     )
                 )
                 self._stall_started_at = None
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.metrics_on:
+                    telemetry.metrics.counter(
+                        "player_stall_ends_total", "Stalls that recovered",
+                    ).inc()
+                    telemetry.metrics.histogram(
+                        "player_stall_seconds", "Recovered stall durations",
+                    ).observe(stall_duration)
                 self._begin_playing(now)
 
     def _begin_playing(self, now: float) -> None:
@@ -166,6 +189,11 @@ class PlayoutBuffer:
         self._anchor_media = self._buffered_until if self._buffered_until is not None else 0.0
         self._stall_started_at = now
         self._stall_event = None
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            telemetry.metrics.counter(
+                "player_stalls_total", "Playback underruns (stall begins)",
+            ).inc()
 
     def _close_interval(self, now: float) -> None:
         duration = now - self._anchor_time

@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro import obs
 from repro.netsim.connection import Message
 from repro.netsim.duplex import DuplexStream
 from repro.netsim.events import EventLoop
@@ -27,6 +28,20 @@ REQUEST_HEADER_BYTES = 420
 RESPONSE_HEADER_BYTES = 310
 
 _request_ids = itertools.count(1)
+
+
+def request_kind(path: str) -> str:
+    """Coarse request class used as a telemetry label (keeps label
+    cardinality bounded: broadcast ids and usernames never label)."""
+    if path.startswith("/api/"):
+        return "api"
+    if path.endswith(".m3u8"):
+        return "playlist"
+    if path.endswith(".ts"):
+        return "segment"
+    if path.startswith("/avatars/") or "profile-images" in path:
+        return "avatar"
+    return "other"
 
 
 class HttpStatus(enum.IntEnum):
@@ -156,12 +171,22 @@ class HttpClient:
         self.loop = loop
         self.stream = stream
         self._pending: Dict[int, ResponseCallback] = {}
+        #: request_id -> (sent sim-time, request kind); only populated
+        #: while telemetry is active.
+        self._inflight_meta: Dict[int, tuple] = {}
         self.responses_received = 0
         stream.on_at_a = self._on_response
 
     def request(self, request: HttpRequest, callback: ResponseCallback) -> HttpRequest:
         """Send ``request``; ``callback`` fires when the response lands."""
         self._pending[request.request_id] = callback
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            kind = request_kind(request.path)
+            self._inflight_meta[request.request_id] = (self.loop.now, kind)
+            telemetry.metrics.counter(
+                "http_requests_total", "HTTP requests sent", kind=kind,
+            ).inc()
         self.stream.send_from_a(
             Message(
                 payload=request,
@@ -182,6 +207,24 @@ class HttpClient:
             raise TypeError(f"HTTP client got non-response payload {response!r}")
         callback = self._pending.pop(response.request_id, None)
         self.responses_received += 1
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            meta = self._inflight_meta.pop(response.request_id, None)
+            kind = meta[1] if meta else "other"
+            metrics = telemetry.metrics
+            metrics.counter(
+                "http_responses_total", "HTTP responses by status",
+                status=int(response.status), kind=kind,
+            ).inc()
+            if response.status == HttpStatus.TOO_MANY_REQUESTS:
+                metrics.counter(
+                    "http_429_total", "Rate-limited responses", kind=kind,
+                ).inc()
+            if meta is not None:
+                metrics.histogram(
+                    "http_request_latency_seconds",
+                    "Request send to response arrival (simulated)", kind=kind,
+                ).observe(now - meta[0])
         if callback is not None:
             callback(response, now)
 

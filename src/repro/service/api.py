@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
 from repro.protocols.http import HttpRequest, HttpResponse, HttpStatus
 from repro.service.broadcast import Broadcast
 from repro.service.geo import GeoRect
@@ -122,11 +123,23 @@ class ApiServer:
             return HttpResponse(HttpStatus.NOT_FOUND, json_body={"error": "unknown endpoint"})
         body = request.json_body or {}
         command = body.get("request")
+        telemetry = obs.active()
+        metrics_on = telemetry.enabled and telemetry.metrics_on
         if not self.rate_limiter.allow(identity or "anonymous", now):
+            if metrics_on:
+                telemetry.metrics.counter(
+                    "api_throttled_total", "apiRequest commands answered 429",
+                    command=str(command),
+                ).inc()
             return HttpResponse(
                 HttpStatus.TOO_MANY_REQUESTS, json_body={"error": "Too many requests"}
             )
         self.requests_handled += 1
+        if metrics_on:
+            telemetry.metrics.counter(
+                "api_commands_total", "apiRequest commands handled",
+                command=str(command),
+            ).inc()
         try:
             if command == "mapGeoBroadcastFeed":
                 return self._map_geo_broadcast_feed(body)

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro import obs
 from repro.protocols.websocket import chat_message_json, text_frame_size
 from repro.util.sampling import bounded_lognormal
 
@@ -119,6 +120,8 @@ class ChatFeed:
         rate = self.message_rate_per_s
         if rate <= 0:
             return
+        telemetry = obs.active()
+        metrics_on = telemetry.enabled and telemetry.metrics_on
         t = start
         while True:
             t += self._rng.expovariate(rate)
@@ -126,6 +129,10 @@ class ChatFeed:
                 return
             username, has_avatar, avatar_bytes = self._rng.choice(self._chatters)
             body = self._rng.choice(_BODIES).format(username)
+            if metrics_on:
+                telemetry.metrics.counter(
+                    "chat_messages_total", "Chat messages generated",
+                ).inc()
             yield ChatMessage(
                 timestamp=t,
                 username=username,
@@ -148,7 +155,19 @@ class ChatFeed:
         if window <= 0:
             return []
         backlog = list(self.messages(window, start=-window))
-        return backlog[-count:]
+        burst = backlog[-count:]
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            telemetry.metrics.histogram(
+                "chat_join_fanout_messages",
+                "History messages delivered as the join burst",
+                buckets=(0, 1, 2, 4, 8, 12, 16, 24, 32, 48, 64),
+            ).observe(float(len(burst)))
+            telemetry.metrics.counter(
+                "chat_join_avatar_fanout_total",
+                "Avatar downloads triggered by join bursts",
+            ).inc(sum(1 for m in burst if m.has_avatar))
+        return burst
 
     def expected_avatar_bps(self) -> float:
         """Rough downstream avatar traffic with chat on (no caching): every

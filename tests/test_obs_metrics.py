@@ -1,0 +1,125 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.export import render_prometheus, render_summary
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total", "help text")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    # Same name + labels returns the same child.
+    assert registry.counter("events_total") is counter
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("x").inc(-1)
+
+
+def test_labels_create_distinct_children():
+    registry = MetricsRegistry()
+    a = registry.counter("http_total", status="200")
+    b = registry.counter("http_total", status="429")
+    a.inc()
+    assert a is not b
+    assert b.value == 0
+    assert registry.get("http_total", status="200") is a
+    assert registry.get("http_total", status="404") is None
+
+
+def test_kind_conflict_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x_total")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")
+
+
+def test_gauge_high_water():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(3)
+    gauge.set(10)
+    gauge.set(2)
+    assert gauge.value == 2
+    assert gauge.high_water == 10
+
+
+def test_histogram_exact_quantiles_on_known_inputs():
+    histogram = Histogram(buckets=(1, 10, 100, 1000))
+    for value in range(1, 101):  # 1..100, inserted in order
+        histogram.observe(float(value))
+    assert histogram.exact
+    assert histogram.quantile(0.5) == 50.0
+    assert histogram.quantile(0.95) == 95.0
+    assert histogram.quantile(0.99) == 99.0
+    assert histogram.quantile(1.0) == 100.0
+    assert histogram.quantile(0.0) == 1.0
+    assert histogram.count == 100
+    assert histogram.sum == sum(range(1, 101))
+    assert histogram.min == 1.0 and histogram.max == 100.0
+
+
+def test_histogram_exact_regardless_of_insertion_order():
+    histogram = Histogram()
+    for value in (9.0, 1.0, 5.0, 3.0, 7.0):
+        histogram.observe(value)
+    assert histogram.quantile(0.5) == 5.0
+    assert histogram.quantile(0.2) == 1.0
+
+
+def test_histogram_falls_back_to_buckets_past_cap():
+    histogram = Histogram(buckets=(10, 20, 30), value_cap=5)
+    for value in (1.0, 12.0, 14.0, 25.0, 28.0, 29.0):
+        histogram.observe(value)
+    assert not histogram.exact
+    estimate = histogram.quantile(0.5)
+    assert 10.0 <= estimate <= 30.0
+    assert histogram.count == 6
+
+
+def test_histogram_empty_quantile_is_none():
+    assert Histogram().quantile(0.5) is None
+
+
+def test_prometheus_render():
+    with obs.session() as telemetry:
+        telemetry.metrics.counter("http_429_total", "throttles", kind="api").inc(3)
+        telemetry.metrics.gauge("queue_depth").set(7)
+        histogram = telemetry.metrics.histogram(
+            "join_seconds", "join time", buckets=(1.0, 5.0), protocol="rtmp"
+        )
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        text = render_prometheus(telemetry)
+    assert '# TYPE http_429_total counter' in text
+    assert 'http_429_total{kind="api"} 3' in text
+    assert "queue_depth 7" in text
+    assert 'join_seconds_bucket{protocol="rtmp",le="1"} 1' in text
+    assert 'join_seconds_bucket{protocol="rtmp",le="5"} 2' in text
+    assert 'join_seconds_bucket{protocol="rtmp",le="+Inf"} 2' in text
+    assert 'join_seconds_sum{protocol="rtmp"} 2.5' in text
+    assert 'join_seconds_count{protocol="rtmp"} 2' in text
+
+
+def test_summary_render_contains_quantiles():
+    with obs.session() as telemetry:
+        histogram = telemetry.metrics.histogram("latency_seconds")
+        for value in range(1, 21):
+            histogram.observe(float(value))
+        telemetry.metrics.counter("requests_total").inc(20)
+        text = render_summary(telemetry)
+    assert "latency_seconds" in text
+    assert "p95" in text
+    assert "requests_total" in text
+
+
+def test_default_buckets_are_sorted():
+    assert list(obs.DEFAULT_BUCKETS) == sorted(obs.DEFAULT_BUCKETS)
+    assert not math.isinf(obs.DEFAULT_BUCKETS[-1])
