@@ -8,23 +8,10 @@ bars (Fig. 7).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.util.empirical import Ecdf, FiveNumberSummary
-
-
-def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """A plain aligned text table."""
-    materialized = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in materialized:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    def fmt(cells: Sequence[str]) -> str:
-        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
-    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(row) for row in materialized)
-    return "\n".join(lines)
+from repro.util.tables import render_table  # noqa: F401  (re-exported API)
 
 
 def render_cdf(

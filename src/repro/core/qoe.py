@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.player.buffer import StallEvent  # noqa: F401  (re-exported API)
+
 
 def stall_ratio(total_stall_s: float, playback_s: float) -> float:
     """Summed stall time over total stream duration (stall + playback).
@@ -29,14 +31,6 @@ def stall_ratio(total_stall_s: float, playback_s: float) -> float:
     if duration == 0:
         return 0.0
     return total_stall_s / duration
-
-
-@dataclass
-class StallEvent:
-    """One rebuffering interruption during playback."""
-
-    start: float
-    duration: float
 
 
 @dataclass

@@ -9,7 +9,6 @@ and accounts the traffic.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.analysis.charts import render_table
@@ -18,6 +17,7 @@ from repro.core.session import SessionSetup, ViewingSession
 from repro.service.broadcast import sample_broadcast
 from repro.service.geo import POPULATION_CENTERS, GeoPoint
 from repro.service.selection import DeliveryProtocol
+from repro.util.rng import child_rng
 
 
 @dataclass
@@ -48,7 +48,7 @@ class ChatTrafficResult:
 
 def _session(seed: int, chat_ui_on: bool, cache: bool, viewers: float):
     broadcast = sample_broadcast(
-        random.Random(seed), 0.0, GeoPoint(41.0, 28.9), POPULATION_CENTERS[17]
+        child_rng(seed, "sec51_chat"), 0.0, GeoPoint(41.0, 28.9), POPULATION_CENTERS[17]
     )
     broadcast.mean_viewers = viewers
     broadcast.duration_s = 7200.0

@@ -1,0 +1,62 @@
+"""Determinism & architecture static analysis (``python -m repro.lint``).
+
+Zero-dependency AST lint pass encoding the repo's scientific-hygiene
+invariants as mechanical rules:
+
+* **D-rules** — determinism hazards: wall-clock reads, the hidden
+  global RNG, hash-ordered set iteration, environment/filesystem access
+  in hermetic simulation paths (:mod:`repro.lint.rules_determinism`).
+* **O-rules** — observability purity: ``repro.obs`` stays
+  leaf-importable and instrumentation sites stay guarded
+  (:mod:`repro.lint.rules_obs`).
+* **L-rules** — the layer DAG declared in :mod:`repro.lint.layers`,
+  enforced over the extracted import graph
+  (:mod:`repro.lint.rules_layering`).
+* **F-rules** — float discipline on simulated time
+  (:mod:`repro.lint.rules_float`).
+
+Suppress a finding in place with ``# lint: disable=D102`` on the
+flagged line; tolerate pre-existing debt in ``lint-baseline.json``
+(refresh via ``python -m repro.lint --write-baseline``).
+"""
+
+from repro.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.discovery import discover_files, find_repo_root
+from repro.lint.findings import Finding
+from repro.lint.registry import (
+    FileRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    iter_rule_metadata,
+    register,
+    rule_ids,
+)
+from repro.lint.runner import LintResult, lint_sources, run_lint
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "FileRule",
+    "Finding",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "discover_files",
+    "find_repo_root",
+    "iter_rule_metadata",
+    "lint_sources",
+    "load_baseline",
+    "register",
+    "rule_ids",
+    "run_lint",
+    "write_baseline",
+]

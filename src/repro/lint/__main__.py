@@ -1,0 +1,122 @@
+"""``python -m repro.lint`` — the determinism & architecture gate.
+
+Usage::
+
+    python -m repro.lint                       # lint src/repro + tests
+    python -m repro.lint src/repro/netsim      # a subtree
+    python -m repro.lint --format json         # machine output for CI
+    python -m repro.lint --list-rules          # rule catalogue
+    python -m repro.lint --write-baseline      # accept current findings
+
+Exit codes: 0 — clean (only baselined/suppressed findings);
+1 — at least one new finding; 2 — usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    write_baseline,
+)
+from repro.lint.discovery import find_repo_root
+from repro.lint.registry import iter_rule_metadata
+from repro.lint.report import format_json, format_text
+from repro.lint.runner import run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism & architecture static analysis for the "
+            "Periscope-QoE reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro and tests)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root (default: auto-detected from pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover all current findings "
+             "(drops stale entries) and exit 0",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print findings covered by the baseline (text format)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for meta in iter_rule_metadata():
+            print(f"{meta['id']}  {meta['name']}  [{meta['severity']}]")
+            print(f"      {meta['description']}")
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else find_repo_root(os.getcwd())
+    only_rules = (
+        [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+        if args.rules else None
+    )
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE_NAME)
+
+    try:
+        result = run_lint(
+            root=root,
+            paths=args.paths or None,
+            baseline_path=baseline_path,
+            use_baseline=not args.no_baseline and not args.write_baseline,
+            only_rules=only_rules,
+        )
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, result.findings)
+        print(f"baseline: {count} finding(s) -> {baseline_path}")
+        return 0
+
+    if args.output_format == "json":
+        sys.stdout.write(format_json(result))
+    else:
+        print(format_text(result, show_baselined=args.show_baselined))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""The checked-in findings baseline.
+
+Pre-existing findings live in ``lint-baseline.json`` at the repo root:
+they don't fail CI, but *new* findings do.  Matching is by fingerprint
+(rule + path + source text + occurrence), so baselined findings survive
+unrelated edits while any change to the offending line re-surfaces it.
+
+Baseline entries that no longer match anything are **stale**; they are
+reported so the file can be refreshed (``--write-baseline`` drops
+them), keeping the baseline a shrinking debt list rather than a
+landfill.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    message: str = ""
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "message": self.message,
+        }
+
+
+class BaselineError(ValueError):
+    """Raised when the baseline file is malformed."""
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Entries from ``path``; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a baseline object with version {BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    for raw in payload.get("findings", []):
+        try:
+            entries.append(BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                fingerprint=raw["fingerprint"],
+                message=raw.get("message", ""),
+            ))
+        except (TypeError, KeyError) as error:
+            raise BaselineError(f"{path}: malformed entry {raw!r}") from error
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (new, baselined) and return stale entries.
+
+    A baseline entry absorbs at most one finding (fingerprints are
+    already occurrence-disambiguated, so this is exact, not first-win).
+    """
+    by_fingerprint = {entry.fingerprint: entry for entry in entries}
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    matched = set()
+    for finding in findings:
+        entry = by_fingerprint.get(finding.fingerprint)
+        if entry is not None and entry.rule == finding.rule:
+            finding.baselined = True
+            baselined.append(finding)
+            matched.add(entry.fingerprint)
+        else:
+            new.append(finding)
+    stale = [entry for entry in entries if entry.fingerprint not in matched]
+    return new, baselined, stale
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Write a fresh baseline covering ``findings``; returns the count."""
+    entries = sorted(
+        (
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                fingerprint=finding.fingerprint,
+                message=finding.message,
+            )
+            for finding in findings
+        ),
+        key=lambda entry: (entry.path, entry.rule, entry.fingerprint),
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Pre-existing repro.lint findings tolerated by CI. "
+            "Refresh with: python -m repro.lint --write-baseline. "
+            "New findings must be fixed, not added here."
+        ),
+        "findings": [entry.to_json() for entry in entries],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return len(entries)

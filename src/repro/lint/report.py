@@ -1,0 +1,57 @@
+"""Rendering lint results as text (humans) or JSON (CI)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.runner import LintResult
+
+
+def format_text(result: LintResult, show_baselined: bool = False) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+    if show_baselined:
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.location()}: {finding.rule} [baselined] "
+                f"{finding.message}"
+            )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"note: stale baseline entry {entry.rule} @ {entry.path} "
+            f"({entry.fingerprint}) no longer matches; refresh with "
+            f"--write-baseline"
+        )
+    summary = (
+        f"{len(result.files)} files checked: "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed_count} suppressed by pragma, "
+        f"{len(result.stale_baseline)} stale baseline entr"
+        f"{'y' if len(result.stale_baseline) == 1 else 'ies'}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    payload: Dict[str, object] = {
+        "version": 1,
+        "files_checked": len(result.files),
+        "findings": [finding.to_json() for finding in result.findings],
+        "baselined": [finding.to_json() for finding in result.baselined],
+        "stale_baseline": [entry.to_json() for entry in result.stale_baseline],
+        "counts": {
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed_count,
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,178 @@
+"""F-rules: float discipline on simulated time.
+
+Simulated time is a float in seconds (netsim.events).  Exact equality
+on derived times and accumulated float counters used as event times are
+the two classic ways reproductions drift across platforms:
+
+* **F401** — ``==``/``!=`` between sim-time expressions (or a sim-time
+  expression and a fractional float literal).  Compare with a tolerance
+  (``abs(a - b) < eps``) or restructure so the comparison is exact by
+  construction (comparisons against integer literals/``0.0`` sentinels
+  are exempt).
+* **F402** — a float counter accumulated with ``+=`` inside a loop and
+  passed to ``schedule_at`` as an absolute event time; accumulated
+  rounding error skews every later event.  Compute
+  ``start + i * step`` instead.
+
+Both rules apply only to the simulation packages (layers.SIM_PACKAGES).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.layers import SIM_PACKAGES
+from repro.lint.modinfo import ModuleInfo
+from repro.lint.registry import FileRule, register
+
+#: Identifier components that mark a name as "a simulated time".
+_TIME_TOKENS = frozenset({
+    "now", "pts", "deadline", "until", "at", "timestamp", "clock",
+    "time", "seconds", "expiry", "arrival",
+})
+
+
+def _name_is_timelike(identifier: str) -> bool:
+    if identifier.endswith("_s"):
+        return True
+    parts = identifier.lower().strip("_").split("_")
+    return any(part in _TIME_TOKENS for part in parts)
+
+
+def _expr_is_timelike(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return _name_is_timelike(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_is_timelike(node.attr)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
+    ):
+        return _expr_is_timelike(node.left) or _expr_is_timelike(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _expr_is_timelike(node.operand)
+    return False
+
+
+def _is_exempt_literal(node: ast.expr) -> bool:
+    """Integer literals and 0.0 are sentinel comparisons, not drift."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return True
+        if isinstance(node.value, int):
+            return True
+        if isinstance(node.value, float):
+            return node.value == 0.0
+        return node.value is None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_exempt_literal(node.operand)
+    return False
+
+
+def _is_fractional_float(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+@register
+class TimeEqualityRule(FileRule):
+    id = "F401"
+    name = "sim-time-equality"
+    description = (
+        "exact ==/!= on simulated-time expressions; accumulated float "
+        "error makes exact equality platform-dependent — use a "
+        "tolerance or compare exact-by-construction values"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_repro or module.package not in SIM_PACKAGES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_exempt_literal(left) or _is_exempt_literal(right):
+                    continue
+                flagged = (
+                    (_expr_is_timelike(left) and _expr_is_timelike(right))
+                    or (_expr_is_timelike(left) and _is_fractional_float(right))
+                    or (_is_fractional_float(left) and _expr_is_timelike(right))
+                )
+                if flagged:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        "exact equality on sim-time floats; use "
+                        "abs(a - b) < eps or make the values exact by "
+                        "construction",
+                    )
+
+
+class _AccumulatedTimeVisitor(ast.NodeVisitor):
+    """Loops where a ``+=``-accumulated float is scheduled absolutely."""
+
+    def __init__(self) -> None:
+        self.hits: List[Tuple[int, int, str]] = []
+
+    def _check_loop(self, loop: ast.AST) -> None:
+        accumulated: dict = {}
+        for node in ast.walk(loop):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Name)):
+                value = node.value
+                int_step = isinstance(value, ast.Constant) and isinstance(value.value, int)
+                if not int_step:
+                    accumulated.setdefault(node.target.id, (node.lineno, node.col_offset))
+        if not accumulated:
+            return
+        scheduled: Set[str] = set()
+        for node in ast.walk(loop):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "schedule_at"
+                    and node.args):
+                continue
+            for name_node in ast.walk(node.args[0]):
+                if isinstance(name_node, ast.Name) and name_node.id in accumulated:
+                    scheduled.add(name_node.id)
+        for name in sorted(scheduled):
+            line, col = accumulated[name]
+            self.hits.append((line, col, name))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_loop(node)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_loop(node)
+        self.generic_visit(node)
+
+
+@register
+class AccumulatedEventTimeRule(FileRule):
+    id = "F402"
+    name = "accumulated-event-time"
+    description = (
+        "float accumulated with += in a loop and used as an absolute "
+        "schedule_at time; rounding error compounds — derive each time "
+        "as start + i * step"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_repro or module.package not in SIM_PACKAGES:
+            return
+        visitor = _AccumulatedTimeVisitor()
+        visitor.visit(module.tree)
+        for line, col, name in visitor.hits:
+            yield self.finding(
+                module, line, col,
+                f"'{name}' accumulates float error in this loop and is "
+                f"passed to schedule_at; compute it as start + i * step",
+            )

@@ -1,0 +1,155 @@
+"""Orchestration: discovery -> parse -> rules -> pragmas -> baseline.
+
+:func:`run_lint` is the single entry point used by the CLI, the CI
+gate, and the pytest meta-test; :func:`lint_sources` lints in-memory
+sources and powers the rule fixture tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+)
+from repro.lint.discovery import discover_files, find_repo_root
+from repro.lint.findings import Finding, assign_occurrences
+from repro.lint.modinfo import ModuleInfo, parse_module
+from repro.lint.pragmas import parse_pragmas, suppressed
+from repro.lint.registry import FileRule, ProjectRule, all_rules
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    root: str
+    files: List[str] = field(default_factory=list)
+    #: Findings not covered by the baseline — these gate CI.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings matched by a baseline entry.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (candidates for removal).
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    #: Findings silenced by a ``# lint: disable=`` pragma.
+    suppressed_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _check_modules(
+    modules: List[ModuleInfo], only_rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    wanted = set(only_rules) if only_rules is not None else None
+    raw: List[Finding] = []
+    for rule in all_rules():
+        if wanted is not None and rule.id not in wanted:
+            continue
+        if isinstance(rule, FileRule):
+            for module in modules:
+                raw.extend(rule.check(module))
+        elif isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(modules))
+    return raw
+
+
+def _drop_suppressed(
+    raw: Sequence[Finding], modules: Sequence[ModuleInfo]
+) -> tuple:
+    pragma_tables = {
+        module.path: parse_pragmas(module.lines) for module in modules
+    }
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in raw:
+        pragmas = pragma_tables.get(finding.path, {})
+        if suppressed(pragmas, finding.line, finding.rule):
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+def parse_files(root: str, rel_paths: Sequence[str]) -> tuple:
+    """Parse files into ModuleInfos; unparsable files become E001 findings."""
+    modules: List[ModuleInfo] = []
+    errors: List[Finding] = []
+    for rel_path in rel_paths:
+        full = os.path.join(root, rel_path)
+        try:
+            with open(full, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            modules.append(parse_module(rel_path, source))
+        except SyntaxError as error:
+            errors.append(Finding(
+                rule="E001",
+                path=rel_path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+                line_text=(error.text or "").strip(),
+            ))
+        except (OSError, UnicodeDecodeError) as error:
+            errors.append(Finding(
+                rule="E002", path=rel_path, line=1, col=0,
+                message=f"file unreadable: {error}",
+            ))
+    return modules, errors
+
+
+def lint_modules(
+    modules: List[ModuleInfo], only_rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Rules + pragmas + occurrence numbering over parsed modules."""
+    raw = _check_modules(modules, only_rules)
+    kept, _ = _drop_suppressed(raw, modules)
+    return assign_occurrences(kept)
+
+
+def lint_sources(
+    sources: Dict[str, str], only_rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint in-memory ``{repo_relative_path: source}`` (for tests)."""
+    modules = [parse_module(path, text) for path, text in sources.items()]
+    return lint_modules(modules, only_rules)
+
+
+def run_lint(
+    root: Optional[str] = None,
+    paths: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+    use_baseline: bool = True,
+    only_rules: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Full pipeline over a checkout.
+
+    ``paths`` defaults to the shared discovery roots; ``baseline_path``
+    defaults to ``<root>/lint-baseline.json``.  Pass
+    ``use_baseline=False`` to see the unfiltered findings.
+    """
+    root = root or find_repo_root()
+    files = discover_files(root, paths)
+    modules, errors = parse_files(root, files)
+    raw = _check_modules(modules, only_rules) + errors
+    kept, dropped = _drop_suppressed(raw, modules)
+    findings = assign_occurrences(kept)
+
+    result = LintResult(root=root, files=files, suppressed_count=dropped)
+    if use_baseline:
+        if baseline_path is None:
+            baseline_path = os.path.join(root, DEFAULT_BASELINE_NAME)
+        entries = load_baseline(baseline_path)
+        new, matched, stale = apply_baseline(findings, entries)
+        result.findings = new
+        result.baselined = matched
+        result.stale_baseline = stale
+    else:
+        result.findings = findings
+    return result

@@ -4,8 +4,9 @@ The Prometheus dump follows the text exposition format (``# HELP`` /
 ``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` / ``_count`` series
 for histograms) so the output can be diffed, grepped, or actually
 scraped.  The end-of-run summary reuses the repo's own
-:func:`repro.analysis.charts.render_table` so telemetry renders like
-every other figure.
+:func:`repro.util.tables.render_table` so telemetry renders like every
+other figure (``obs`` may import only ``util``, so the renderer lives
+there and :mod:`repro.analysis.charts` re-exports it).
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import IO, List, Sequence
 
-from repro.analysis.charts import render_table
+from repro.util.tables import render_table
 from repro.obs import Telemetry
 from repro.obs.metrics import Counter, Gauge, Histogram, LabelKey
 

@@ -18,8 +18,19 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro import obs
-from repro.core.qoe import StallEvent
 from repro.netsim.events import Event, EventLoop
+
+
+@dataclass
+class StallEvent:
+    """One rebuffering interruption during playback.
+
+    Defined here — the player layer is what observes stalls — and
+    re-exported by :mod:`repro.core.qoe` for the dataset API.
+    """
+
+    start: float
+    duration: float
 
 
 @dataclass

@@ -1,0 +1,163 @@
+"""The ``python -m repro.lint`` CLI: exit codes, JSON schema, baseline
+workflow, and the seeded-violation acceptance check."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd or REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.fixture
+def mini_repo(tmp_path):
+    """A tiny checkout with one hermetic netsim module."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'mini'\n")
+    pkg = tmp_path / "src" / "repro" / "netsim"
+    pkg.mkdir(parents=True)
+    (pkg / "link.py").write_text(textwrap.dedent("""
+        def transit(loop, delay):
+            return loop.now + delay
+    """))
+    (tmp_path / "tests").mkdir()
+    return tmp_path
+
+
+def seed_violation(mini_repo):
+    (mini_repo / "src" / "repro" / "netsim" / "link.py").write_text(
+        textwrap.dedent("""
+            import time
+
+            def transit(loop, delay):
+                return time.time() + delay
+        """)
+    )
+
+
+def test_clean_tree_exits_zero(mini_repo):
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_seeded_violation_exits_nonzero(mini_repo):
+    seed_violation(mini_repo)
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 1
+    assert "D101" in proc.stdout
+
+
+def test_json_format_schema(mini_repo):
+    seed_violation(mini_repo)
+    proc = run_cli("--root", str(mini_repo), "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == 1
+    assert payload["ok"] is False
+    assert payload["counts"]["new"] == 1
+    finding = payload["findings"][0]
+    for key in ("rule", "severity", "path", "line", "col", "message",
+                "fingerprint", "baselined"):
+        assert key in finding
+    assert finding["rule"] == "D101"
+    assert finding["path"] == "src/repro/netsim/link.py"
+    assert finding["baselined"] is False
+
+
+def test_write_baseline_then_clean_then_stale(mini_repo):
+    seed_violation(mini_repo)
+    baseline = mini_repo / "lint-baseline.json"
+
+    # Accept the debt: the run goes green.
+    proc = run_cli("--root", str(mini_repo), "--write-baseline")
+    assert proc.returncode == 0
+    assert baseline.exists()
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 0, proc.stdout
+    assert "1 baselined" in proc.stdout
+
+    # A *second* violation is still caught.
+    extra = mini_repo / "src" / "repro" / "netsim" / "extra.py"
+    extra.write_text("import time\nNOW = time.time()\n")
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 1
+    extra.unlink()
+
+    # Fix the original violation: entry goes stale but doesn't fail.
+    (mini_repo / "src" / "repro" / "netsim" / "link.py").write_text(
+        "def transit(loop, delay):\n    return loop.now + delay\n"
+    )
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 0
+    assert "stale baseline entry" in proc.stdout
+
+    # Refresh drops the stale entry.
+    proc = run_cli("--root", str(mini_repo), "--write-baseline")
+    assert proc.returncode == 0
+    payload = json.loads(baseline.read_text())
+    assert payload["findings"] == []
+
+
+def test_no_baseline_flag_ignores_baseline(mini_repo):
+    seed_violation(mini_repo)
+    run_cli("--root", str(mini_repo), "--write-baseline")
+    proc = run_cli("--root", str(mini_repo), "--no-baseline")
+    assert proc.returncode == 1
+
+
+def test_pragma_silences_seeded_violation(mini_repo):
+    (mini_repo / "src" / "repro" / "netsim" / "link.py").write_text(
+        textwrap.dedent("""
+            import time
+
+            def transit(loop, delay):
+                return time.time() + delay  # lint: disable=D101
+        """)
+    )
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 0
+    assert "1 suppressed by pragma" in proc.stdout
+
+
+def test_list_rules(mini_repo):
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("D101", "D102", "D103", "D104", "D105",
+                    "O201", "O202", "O203", "L301", "L302", "L303",
+                    "F401", "F402"):
+        assert rule_id in proc.stdout
+
+
+def test_explicit_path_argument(mini_repo):
+    seed_violation(mini_repo)
+    proc = run_cli("--root", str(mini_repo), "src/repro/netsim/link.py")
+    assert proc.returncode == 1
+    proc = run_cli("--root", str(mini_repo), "tests")
+    assert proc.returncode == 0
+
+
+def test_real_repo_cli_is_clean():
+    """Acceptance criterion: python -m repro.lint exits 0 on the tree."""
+    proc = run_cli("--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["counts"]["new"] == 0

@@ -1,0 +1,225 @@
+"""Linter infrastructure: pragmas, baseline lifecycle, fingerprints,
+and the shared file discovery."""
+
+import json
+import os
+import textwrap
+
+from repro.lint import (
+    apply_baseline,
+    discover_files,
+    lint_sources,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.baseline import BaselineEntry
+
+
+def _violation_source():
+    return textwrap.dedent("""
+        import time
+
+        def arrival():
+            return time.time()
+    """)
+
+
+# ---------------------------------------------------------------- pragmas
+
+class TestPragmas:
+    def test_pragma_suppresses_named_rule(self):
+        source = textwrap.dedent("""
+            import time
+
+            def arrival():
+                return time.time()  # lint: disable=D101
+        """)
+        findings = lint_sources(
+            {"src/repro/netsim/snippet.py": source}, only_rules=["D101"]
+        )
+        assert findings == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = textwrap.dedent("""
+            import time
+
+            def arrival():
+                return time.time()  # lint: disable=D102
+        """)
+        findings = lint_sources(
+            {"src/repro/netsim/snippet.py": source}, only_rules=["D101"]
+        )
+        assert [f.rule for f in findings] == ["D101"]
+
+    def test_disable_all_and_multi_rule_lists(self):
+        source = textwrap.dedent("""
+            import time, random
+
+            def draw():
+                return time.time() and random.random()  # lint: disable=D101,D102
+
+            def both():
+                return time.time() and random.random()  # lint: disable=all
+        """)
+        findings = lint_sources({"src/repro/netsim/snippet.py": source})
+        assert findings == []
+
+    def test_pragma_only_covers_its_own_line(self):
+        source = textwrap.dedent("""
+            import time  # lint: disable=D101
+
+            def arrival():
+                return time.time()
+        """)
+        findings = lint_sources(
+            {"src/repro/netsim/snippet.py": source}, only_rules=["D101"]
+        )
+        assert [f.rule for f in findings] == ["D101"]
+
+
+# ---------------------------------------------------------------- fingerprints
+
+class TestFingerprints:
+    def test_stable_across_line_shifts(self):
+        base = _violation_source()
+        shifted = "# a new leading comment\n" + base
+        f1 = lint_sources({"src/repro/netsim/s.py": base}, only_rules=["D101"])
+        f2 = lint_sources({"src/repro/netsim/s.py": shifted}, only_rules=["D101"])
+        assert f1[0].fingerprint == f2[0].fingerprint
+        assert f1[0].line != f2[0].line
+
+    def test_identical_lines_get_distinct_fingerprints(self):
+        source = textwrap.dedent("""
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+        """)
+        findings = lint_sources(
+            {"src/repro/netsim/s.py": source}, only_rules=["D101"]
+        )
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+
+# ---------------------------------------------------------------- baseline
+
+class TestBaseline:
+    def test_add_then_expire(self, tmp_path):
+        findings = lint_sources(
+            {"src/repro/netsim/s.py": _violation_source()}, only_rules=["D101"]
+        )
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        assert write_baseline(baseline_path, findings) == 1
+        entries = load_baseline(baseline_path)
+
+        # Same findings again: fully absorbed, nothing stale.
+        new, baselined, stale = apply_baseline(findings, entries)
+        assert new == [] and len(baselined) == 1 and stale == []
+
+        # Violation fixed: the entry goes stale...
+        new, baselined, stale = apply_baseline([], entries)
+        assert new == [] and baselined == [] and len(stale) == 1
+
+        # ...and a rewrite drops it.
+        assert write_baseline(baseline_path, []) == 0
+        assert load_baseline(baseline_path) == []
+
+    def test_baseline_does_not_hide_new_findings(self):
+        old = lint_sources(
+            {"src/repro/netsim/s.py": _violation_source()}, only_rules=["D101"]
+        )
+        entries = [BaselineEntry(f.rule, f.path, f.fingerprint) for f in old]
+        two = textwrap.dedent("""
+            import time
+
+            def arrival():
+                return time.time()
+
+            def departure():
+                return time.perf_counter()
+        """)
+        findings = lint_sources(
+            {"src/repro/netsim/s.py": two}, only_rules=["D101"]
+        )
+        new, baselined, stale = apply_baseline(findings, entries)
+        assert len(baselined) == 1
+        assert len(new) == 1
+        assert "perf_counter" in new[0].message
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == []
+
+
+# ---------------------------------------------------------------- discovery
+
+class TestDiscovery:
+    def _make_tree(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        pkg = tmp_path / "src" / "repro" / "netsim"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("X = 1\n")
+        cache = pkg / "__pycache__"
+        cache.mkdir()
+        (cache / "mod.cpython-312.py").write_text("X = 1\n")
+        tests = tmp_path / "tests"
+        tests.mkdir()
+        (tests / "test_mod.py").write_text("def test(): pass\n")
+        fixtures = tests / "fixtures"
+        fixtures.mkdir()
+        (fixtures / "bad_snippet.py").write_text("import time\ntime.time()\n")
+        (tests / "generated_pb2.py").write_text(
+            "# @generated by protoc\nX = 1\n"
+        )
+        (tests / "notes.txt").write_text("not python\n")
+        return tmp_path
+
+    def test_skips_pycache_fixtures_and_generated(self, tmp_path):
+        root = self._make_tree(tmp_path)
+        files = discover_files(str(root))
+        assert files == ["src/repro/netsim/mod.py", "tests/test_mod.py"]
+
+    def test_cli_and_pytest_agree_on_discovery(self, tmp_path):
+        """The meta-test and ``python -m repro.lint`` share one discovery
+        function, so their file sets are identical by construction —
+        this pins the contract."""
+        root = self._make_tree(tmp_path)
+        result = run_lint(root=str(root))
+        assert result.files == discover_files(str(root))
+
+    def test_single_file_root(self, tmp_path):
+        root = self._make_tree(tmp_path)
+        files = discover_files(str(root), ["src/repro/netsim/mod.py"])
+        assert files == ["src/repro/netsim/mod.py"]
+
+
+# ---------------------------------------------------------------- meta
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_lint_clean(self):
+        """The tier-1 CI gate: src/repro + tests, against the checked-in
+        baseline, must produce zero new findings."""
+        result = run_lint(root=REPO_ROOT)
+        formatted = "\n".join(
+            f"{f.location()}: {f.rule} {f.message}" for f in result.findings
+        )
+        assert result.ok, f"new lint findings:\n{formatted}"
+        assert len(result.files) > 100  # sanity: the whole tree was seen
+
+    def test_checked_in_baseline_has_no_stale_entries(self):
+        result = run_lint(root=REPO_ROOT)
+        assert result.stale_baseline == []
+
+    def test_baseline_file_is_valid_json_with_version(self):
+        path = os.path.join(REPO_ROOT, "lint-baseline.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+        assert isinstance(payload["findings"], list)
