@@ -1,0 +1,104 @@
+"""Wall-clock benchmark: serial vs process-parallel study batches.
+
+Runs the same seeded bandwidth sweep at several worker counts, checks
+the datasets are bit-identical to the serial baseline (the guarantee
+the parallel path advertises), and writes the measured times to
+``benchmarks/BENCH_parallel_study.json``.
+
+Numbers are only meaningful relative to the recorded ``cpu_count``: on
+a single-core container every worker count serializes onto one core,
+so the parallel runs measure pure dispatch overhead, not speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_study.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+from repro.core.config import StudyConfig
+from repro.core.study import AutomatedViewingStudy
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_parallel_study.json"
+
+
+def run_sweep(seed, per_limit, limits, workers):
+    """One full seeded sweep at a fixed worker count; returns (dataset, s)."""
+    study = AutomatedViewingStudy(StudyConfig(seed=seed, workers=workers))
+    started = time.perf_counter()
+    sweep = {
+        limit: study.run_batch(per_limit, bandwidth_limit_mbps=limit)
+        for limit in limits
+    }
+    elapsed = time.perf_counter() - started
+    return sweep, elapsed
+
+
+def datasets_identical(a, b):
+    return all(
+        a[limit].sessions == b[limit].sessions
+        and a[limit].avatar_bytes == b[limit].avatar_bytes
+        and a[limit].down_bytes == b[limit].down_bytes
+        for limit in a
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workload for CI smoke (2 sessions/limit, "
+                             "workers 1 and 2)")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    if args.quick:
+        per_limit, limits, worker_counts = 2, (2.0, 100.0), (1, 2)
+    else:
+        per_limit, limits, worker_counts = 6, (0.5, 2.0, 100.0), (1, 2, 4, 8)
+
+    baseline_sweep = None
+    baseline_seconds = None
+    runs = []
+    for workers in worker_counts:
+        sweep, elapsed = run_sweep(args.seed, per_limit, limits, workers)
+        if baseline_sweep is None:
+            baseline_sweep, baseline_seconds = sweep, elapsed
+        identical = datasets_identical(baseline_sweep, sweep)
+        runs.append({
+            "workers": workers,
+            "seconds": round(elapsed, 3),
+            "speedup_vs_serial": round(baseline_seconds / elapsed, 3),
+            "identical_to_serial": identical,
+        })
+        print(f"workers={workers}: {elapsed:.2f}s "
+              f"(x{baseline_seconds / elapsed:.2f} vs serial, "
+              f"identical={identical})")
+        if not identical:
+            raise SystemExit(
+                f"parallel dataset at workers={workers} diverged from serial"
+            )
+
+    report = {
+        "benchmark": "parallel_study",
+        "config": {
+            "seed": args.seed,
+            "sessions_per_limit": per_limit,
+            "limits_mbps": list(limits),
+            "quick": args.quick,
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,12 @@ class StudyConfig:
     seed: int = 2016
     #: Linear scale factor on population sizes (1.0 = paper scale).
     scale: float = 0.05
+    #: Worker processes for session execution in
+    #: :meth:`~repro.core.study.AutomatedViewingStudy.run_batch`.  1 runs
+    #: everything inline; higher values fan sessions out over a process
+    #: pool (results are bit-identical either way — sampling stays
+    #: serial and each session is hermetic given its setup).
+    workers: int = 1
 
     # ---------------------------------------------------------------- QoE study
     #: Seconds each broadcast is watched after pressing Teleport (paper: 60 s).

@@ -1,0 +1,171 @@
+"""Process-parallel execution of prepared viewing sessions.
+
+The automated-viewing study runs in two phases (see
+:meth:`~repro.core.study.AutomatedViewingStudy.run_batch`): phase one
+samples every :class:`~repro.core.session.SessionSetup` serially — world
+evolution and the teleport RNG stay on one thread, so the sampled
+population is byte-for-byte the same regardless of worker count — and
+phase two executes the expensive :meth:`ViewingSession.run` calls.  This
+module is phase two's fan-out: chunked dispatch over a
+:class:`concurrent.futures.ProcessPoolExecutor` with an index-ordered
+merge, so the parallel path returns results in exactly the order the
+serial path would have produced them.
+
+Why the results are bit-identical to the serial path:
+
+* each session owns a private :class:`~repro.netsim.events.EventLoop`
+  and derives every RNG stream from its own ``setup.seed``;
+* the only shared state a session reads is the
+  :class:`~repro.service.ingest.IngestPool`, which is immutable after
+  construction and fully determined by the study seed — each worker
+  rebuilds it from that seed in :func:`_worker_init`;
+* telemetry never feeds back into simulation state, so workers record
+  metrics into a private registry whose snapshot the parent folds in
+  with :meth:`~repro.obs.metrics.MetricsRegistry.merge_from`.
+
+A worker that raises propagates the exception to the parent through
+``Future.result()`` — a poisoned setup fails the batch loudly instead of
+hanging or silently dropping sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.qoe import SessionQoE
+from repro.core.session import SessionSetup, ViewingSession
+from repro.service.ingest import IngestPool
+from repro.util.rng import Seedable, child_rng
+
+#: Chunks dispatched per worker: small enough to balance skewed session
+#: costs (a 0.5 Mbps session simulates far more packet events than an
+#: unshaped one), large enough to amortize pickling.
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass
+class SessionResult:
+    """The slim, picklable per-session outcome a worker ships back.
+
+    Exactly what :class:`~repro.core.study.StudyDataset` keeps — the
+    heavyweight :class:`SessionArtifacts` (full traffic capture, raw
+    playbackMeta) never crosses the process boundary.
+    """
+
+    qoe: SessionQoE
+    avatar_bytes: int
+    down_bytes: int
+
+
+#: Worker-process globals, installed once per worker by :func:`_worker_init`.
+_WORKER_INGEST: Optional[IngestPool] = None
+_WORKER_METRICS = False
+
+
+def _worker_init(study_seed: Seedable, metrics_enabled: bool) -> None:
+    """Bootstrap one worker: rebuild the frozen ingest pool from the seed.
+
+    ``IngestPool`` consumes its RNG entirely at construction and is
+    immutable afterwards, so rebuilding it from
+    ``child_rng(study_seed, "ingest-pool")`` yields the identical fleet
+    the parent study holds.  Any telemetry state inherited over fork is
+    discarded — each chunk activates (and snapshots) its own registry.
+    """
+    global _WORKER_INGEST, _WORKER_METRICS
+    obs.deactivate()
+    _WORKER_INGEST = IngestPool(child_rng(study_seed, "ingest-pool"))
+    _WORKER_METRICS = metrics_enabled
+
+
+def _run_chunk(
+    setups: Sequence[SessionSetup],
+) -> Tuple[List[SessionResult], Optional[dict]]:
+    """Run one contiguous chunk of prepared setups inside a worker.
+
+    Returns the per-session results in input order plus a metrics
+    snapshot covering exactly this chunk (``None`` when metrics are
+    off).  The registry is fresh per chunk so a worker that serves
+    several chunks never double-counts.
+    """
+    if _WORKER_INGEST is None:
+        raise RuntimeError("worker not initialized; dispatch via run_sessions")
+    telemetry: Optional[obs.Telemetry] = None
+    if _WORKER_METRICS:
+        telemetry = obs.activate(
+            obs.Telemetry(metrics=True, tracing=False, profiling=False)
+        )
+    try:
+        results = [
+            SessionResult(
+                qoe=artifacts.qoe,
+                avatar_bytes=artifacts.avatar_bytes,
+                down_bytes=artifacts.total_down_bytes,
+            )
+            for artifacts in (
+                ViewingSession(setup, ingest=_WORKER_INGEST).run()
+                for setup in setups
+            )
+        ]
+        snapshot = telemetry.metrics.snapshot() if telemetry is not None else None
+    finally:
+        if telemetry is not None:
+            obs.deactivate()
+    return results, snapshot
+
+
+def chunk_bounds(n_items: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` chunk bounds for ``n_items`` setups.
+
+    Deterministic in (n_items, workers): the dispatch plan — and with it
+    the parent's merge order — never depends on scheduling.
+    """
+    if n_items <= 0:
+        return []
+    chunk_size = max(1, math.ceil(n_items / (workers * CHUNKS_PER_WORKER)))
+    return [
+        (start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+def run_sessions(
+    setups: Sequence[SessionSetup],
+    *,
+    study_seed: Seedable,
+    workers: int,
+    metrics_enabled: bool = False,
+) -> Tuple[List[SessionResult], List[dict]]:
+    """Fan ``ViewingSession.run()`` out across ``workers`` processes.
+
+    Results come back index-ordered (position ``i`` belongs to
+    ``setups[i]``), and the returned snapshots are in chunk order, so
+    folding them into the parent registry is deterministic.  Worker
+    exceptions re-raise here, in the parent.
+    """
+    if workers < 2:
+        raise ValueError("run_sessions needs at least two workers; "
+                         "the serial path handles workers=1")
+    results: List[Optional[SessionResult]] = [None] * len(setups)
+    snapshots: List[dict] = []
+    bounds = chunk_bounds(len(setups), workers)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(study_seed, metrics_enabled),
+    ) as pool:
+        futures = [
+            (start, pool.submit(_run_chunk, list(setups[start:stop])))
+            for start, stop in bounds
+        ]
+        for start, future in futures:
+            chunk_results, snapshot = future.result()
+            for offset, result in enumerate(chunk_results):
+                results[start + offset] = result
+            if snapshot is not None:
+                snapshots.append(snapshot)
+    assert all(result is not None for result in results)
+    return results, snapshots  # type: ignore[return-value]

@@ -9,13 +9,16 @@ paper uses for Figures 3(b) and 4.
 
 from __future__ import annotations
 
+import math
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.automation.devices import GALAXY_S3, GALAXY_S4, DeviceProfile
 from repro.core.config import StudyConfig
+from repro.core.parallel import run_sessions
 from repro.core.qoe import SessionQoE
 from repro.core.session import SessionArtifacts, SessionSetup, ViewingSession
 from repro.service.ingest import IngestPool
@@ -36,6 +39,11 @@ class StudyDataset:
     #: Aggregate traffic facts per session (chat/avatar accounting).
     avatar_bytes: List[int] = field(default_factory=list)
     down_bytes: List[int] = field(default_factory=list)
+    #: Sessions requested but never sampled: the teleport retry budget
+    #: ran out (scaled-down worlds with few live broadcasts).  Figure
+    #: drivers should report this instead of silently plotting a
+    #: truncated sample.
+    shortfall: int = 0
 
     def by_protocol(self, protocol: str) -> List[SessionQoE]:
         return [s for s in self.sessions if s.protocol == protocol]
@@ -44,12 +52,19 @@ class StudyDataset:
         return [s for s in self.sessions if s.device == device]
 
     def by_limit(self, limit_mbps: float) -> List[SessionQoE]:
-        return [s for s in self.sessions if s.bandwidth_limit_mbps == limit_mbps]
+        # Tolerant match: sweep points are often computed (0.1 * 5 is not
+        # 0.5 exactly), and exact float == would silently drop them.
+        return [
+            s for s in self.sessions
+            if math.isclose(s.bandwidth_limit_mbps, limit_mbps,
+                            rel_tol=1e-9, abs_tol=1e-12)
+        ]
 
     def extend(self, other: "StudyDataset") -> None:
         self.sessions.extend(other.sessions)
         self.avatar_bytes.extend(other.avatar_bytes)
         self.down_bytes.extend(other.down_bytes)
+        self.shortfall += other.shortfall
 
 
 class AutomatedViewingStudy:
@@ -127,14 +142,27 @@ class AutomatedViewingStudy:
         chat_ui_on: bool = True,
         cache_avatars: bool = False,
         forced_protocol: Optional[DeliveryProtocol] = None,
+        workers: Optional[int] = None,
     ) -> StudyDataset:
-        """Run ``n_sessions`` Teleport sessions at one bandwidth limit."""
-        dataset = StudyDataset()
-        attempts = 0
+        """Run ``n_sessions`` Teleport sessions at one bandwidth limit.
+
+        Two phases.  **Sampling** always runs serially on this thread:
+        world evolution and the teleport RNG are the only order-sensitive
+        state, so the sampled setups are identical for every worker
+        count.  **Execution** runs the sampled sessions either inline
+        (``workers`` <= 1) or fanned out over a process pool
+        (:mod:`repro.core.parallel`); each session is hermetic given its
+        setup, so both paths produce bit-identical datasets.
+        """
+        workers = self.config.workers if workers is None else workers
         telemetry = obs.active()
         metrics_on = telemetry.enabled and telemetry.metrics_on
         limit_label = f"{bandwidth_limit_mbps:g}"
-        while len(dataset.sessions) < n_sessions and attempts < n_sessions * 4:
+
+        # ---- phase 1: serial sampling -----------------------------------
+        setups: List[SessionSetup] = []
+        attempts = 0
+        while len(setups) < n_sessions and attempts < n_sessions * 4:
             attempts += 1
             setup = self._next_setup(
                 bandwidth_limit_mbps,
@@ -148,23 +176,70 @@ class AutomatedViewingStudy:
                     "Teleport attempts (incl. dead/new-broadcast retries)",
                     limit=limit_label,
                 ).inc()
-            if setup is None:
-                continue
-            artifacts = self.run_session(setup)
-            dataset.sessions.append(artifacts.qoe)
-            dataset.avatar_bytes.append(artifacts.avatar_bytes)
-            dataset.down_bytes.append(artifacts.total_down_bytes)
+            if setup is not None:
+                setups.append(setup)
+
+        dataset = StudyDataset()
+        if len(setups) < n_sessions:
+            dataset.shortfall = n_sessions - len(setups)
+            warnings.warn(
+                f"study batch shortfall: sampled {len(setups)} of "
+                f"{n_sessions} sessions at {limit_label} Mbps before the "
+                f"teleport retry budget ({n_sessions * 4} attempts) ran "
+                f"out; the world has too few live broadcasts",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             if metrics_on:
+                telemetry.metrics.counter(
+                    "study_batch_shortfall_total",
+                    "Requested sessions the teleport retry budget "
+                    "could not sample",
+                    limit=limit_label,
+                ).inc(dataset.shortfall)
+
+        # ---- phase 2: session execution ---------------------------------
+        if workers > 1 and len(setups) > 1:
+            results, snapshots = run_sessions(
+                setups,
+                study_seed=self.config.seed,
+                workers=workers,
+                metrics_enabled=metrics_on,
+            )
+            for snapshot in snapshots:
+                telemetry.metrics.merge_from(snapshot)
+            for result in results:
+                dataset.sessions.append(result.qoe)
+                dataset.avatar_bytes.append(result.avatar_bytes)
+                dataset.down_bytes.append(result.down_bytes)
+            if metrics_on and results:
                 metrics = telemetry.metrics
                 metrics.counter(
                     "study_sessions_total", "Study sessions completed",
                     limit=limit_label,
-                ).inc()
+                ).inc(len(results))
                 metrics.gauge(
                     "study_limit_progress",
                     "Sessions completed toward the per-limit target",
                     limit=limit_label,
                 ).set(float(len(dataset.sessions)))
+        else:
+            for setup in setups:
+                artifacts = self.run_session(setup)
+                dataset.sessions.append(artifacts.qoe)
+                dataset.avatar_bytes.append(artifacts.avatar_bytes)
+                dataset.down_bytes.append(artifacts.total_down_bytes)
+                if metrics_on:
+                    metrics = telemetry.metrics
+                    metrics.counter(
+                        "study_sessions_total", "Study sessions completed",
+                        limit=limit_label,
+                    ).inc()
+                    metrics.gauge(
+                        "study_limit_progress",
+                        "Sessions completed toward the per-limit target",
+                        limit=limit_label,
+                    ).set(float(len(dataset.sessions)))
         return dataset
 
     def run_unlimited(self, n_sessions: Optional[int] = None) -> StudyDataset:

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--per-limit", type=int, default=6,
                         help="sessions per bandwidth limit in the sweep")
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for study session execution (datasets are "
+             "bit-identical to --workers 1; session-level spans from "
+             "--trace-out are only collected serially)",
+    )
+    parser.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="enable metrics + event-loop profiling; write a "
              "Prometheus-style dump to PATH ('-' for stdout) at exit",
@@ -141,6 +147,7 @@ def main(argv: Optional[list] = None) -> int:
             sweep_sessions_per_limit=args.per_limit,
             metrics=args.metrics is not None,
             tracing=args.trace_out is not None,
+            workers=args.workers,
         )
         figure = ALIASES.get(args.figure, args.figure)
         names = sorted(DRIVERS) if figure == "all" else [figure]

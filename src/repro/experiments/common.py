@@ -18,7 +18,9 @@ class Workbench:
     One workbench = one seed + one scale.  The default sizes keep the
     full benchmark suite in the minutes range; raise ``unlimited_sessions``
     / ``sweep_sessions_per_limit`` / crawl durations toward the paper's
-    numbers for a full-scale reproduction run.
+    numbers for a full-scale reproduction run — and pass ``workers`` to
+    fan session execution out over a process pool (datasets stay
+    bit-identical to a serial run; see :mod:`repro.core.parallel`).
     """
 
     def __init__(
@@ -32,9 +34,10 @@ class Workbench:
         targeted_duration_s: float = 2400.0,
         metrics: bool = False,
         tracing: bool = False,
+        workers: int = 1,
     ) -> None:
         self.config = StudyConfig(seed=seed, metrics_enabled=metrics,
-                                  tracing_enabled=tracing)
+                                  tracing_enabled=tracing, workers=workers)
         #: Activate telemetry up front so loops built by crawls (which do
         #: not go through AutomatedViewingStudy) are profiled too.
         self.telemetry = obs.ensure_active(metrics=metrics, tracing=tracing)

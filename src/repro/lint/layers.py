@@ -28,6 +28,11 @@ crawler/core -> experiments/analysis``)::
 ``util`` — and not ``util.rng`` even then, so telemetry can never touch
 the experiment seed tree.  The O-rules pin that down.
 
+Process-level parallelism is likewise pinned to one place:
+``repro.core.parallel`` (rank ``core``) is the only module that may
+import ``multiprocessing``/``concurrent.futures``
+(:data:`PROCESS_POOL_MODULES`, rule L304).
+
 A package missing from :data:`RANKS` fails the lint run (L303): adding
 a package means deciding where it sits, in this file, in the same PR.
 """
@@ -81,6 +86,13 @@ WALL_CLOCK_PACKAGES = frozenset({"obs", "automation"})
 SIM_PACKAGES = frozenset(
     {"netsim", "service", "player", "media", "protocols", "core", "crawler"}
 )
+
+#: The only modules allowed to import ``multiprocessing`` /
+#: ``concurrent.futures`` (L304).  Process fan-out must stay behind
+#: :mod:`repro.core.parallel`, which guarantees serial sampling, seeded
+#: worker bootstrap, and index-ordered merges — ad-hoc pools elsewhere
+#: would have none of those and silently break bit-identical replays.
+PROCESS_POOL_MODULES = frozenset({"repro.core.parallel"})
 
 
 def rank_of(package: str) -> Optional[int]:

@@ -13,8 +13,14 @@ the two classic ways reproductions drift across platforms:
   passed to ``schedule_at`` as an absolute event time; accumulated
   rounding error skews every later event.  Compute
   ``start + i * step`` instead.
+* **F403** — ``==``/``!=`` on bandwidth-limit attributes
+  (``*_mbps`` / ``bandwidth_limit*``).  Sweep points are routinely
+  computed (``0.1 * 5`` is not ``0.5``), so exact equality silently
+  drops sessions from a limit bucket; match with ``math.isclose``.
+  Comparisons against integer literals and ``0.0`` sentinels are
+  exempt, mirroring F401.
 
-Both rules apply only to the simulation packages (layers.SIM_PACKAGES).
+All rules apply only to the simulation packages (layers.SIM_PACKAGES).
 """
 
 from __future__ import annotations
@@ -111,6 +117,50 @@ class TimeEqualityRule(FileRule):
                         "exact equality on sim-time floats; use "
                         "abs(a - b) < eps or make the values exact by "
                         "construction",
+                    )
+
+
+def _name_is_bandwidth_limit(identifier: str) -> bool:
+    lowered = identifier.lower()
+    return lowered.endswith("_mbps") or lowered.startswith("bandwidth_limit")
+
+
+def _expr_is_bandwidth_limit(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return _name_is_bandwidth_limit(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_is_bandwidth_limit(node.attr)
+    return False
+
+
+@register
+class BandwidthLimitEqualityRule(FileRule):
+    id = "F403"
+    name = "bandwidth-limit-equality"
+    description = (
+        "exact ==/!= on a bandwidth-limit attribute (*_mbps, "
+        "bandwidth_limit*); sweep points are computed floats — match "
+        "with math.isclose"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_repro or module.package not in SIM_PACKAGES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_exempt_literal(left) or _is_exempt_literal(right):
+                    continue
+                if _expr_is_bandwidth_limit(left) or _expr_is_bandwidth_limit(right):
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        "exact equality on a bandwidth-limit float; sweep "
+                        "points are computed (0.1 * 5 != 0.5) — use "
+                        "math.isclose(a, b)",
                     )
 
 

@@ -12,16 +12,22 @@ the two:
   connected component of the top-level import graph).
 * **L303** — a package absent from the layers manifest: new packages
   must be placed in the DAG in the same PR that adds them.
+* **L304** — ``multiprocessing``/``concurrent.futures`` imported outside
+  the declared process-pool modules (``layers.PROCESS_POOL_MODULES``);
+  worker fan-out lives behind ``repro.core.parallel`` only, where serial
+  sampling, seeded worker bootstrap, and index-ordered merges keep
+  parallel runs bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import ast
 from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.lint.findings import Finding
-from repro.lint.layers import RANKS, edge_allowed, rank_of
+from repro.lint.layers import PROCESS_POOL_MODULES, RANKS, edge_allowed, rank_of
 from repro.lint.modinfo import ModuleInfo
-from repro.lint.registry import ProjectRule, register
+from repro.lint.registry import FileRule, ProjectRule, register
 
 
 def _package_of(module_name: str) -> str:
@@ -197,3 +203,41 @@ class UndeclaredPackageRule(ProjectRule):
                 f"repro/lint/layers.py; declare where it sits in the "
                 f"layer DAG",
             )
+
+
+_POOL_MODULES = ("multiprocessing", "concurrent")
+
+
+@register
+class ProcessPoolConfinementRule(FileRule):
+    id = "L304"
+    name = "process-pool-confinement"
+    description = (
+        "multiprocessing / concurrent.futures imported outside the "
+        "declared process-pool modules (repro/lint/layers.py "
+        "PROCESS_POOL_MODULES); route worker fan-out through "
+        "repro.core.parallel so parallel runs stay bit-identical"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_repro or module.module in PROCESS_POOL_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            imported: List[Tuple[int, str]] = []
+            if isinstance(node, ast.Import):
+                imported = [
+                    (node.lineno, alias.name)
+                    for alias in node.names
+                    if alias.name.split(".")[0] in _POOL_MODULES
+                ]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                if node.module.split(".")[0] in _POOL_MODULES:
+                    imported = [(node.lineno, node.module)]
+            for line, name in imported:
+                yield self.finding(
+                    module, line, 0,
+                    f"import of {name!r} outside the declared process-pool "
+                    f"modules; spawn workers via repro.core.parallel, which "
+                    f"preserves determinism (serial sampling, seeded "
+                    f"bootstrap, ordered merge)",
+                )

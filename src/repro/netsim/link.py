@@ -48,6 +48,9 @@ class Link:
         self.shaper = shaper
         self.deliver: Optional[PacketSink] = None
         self._busy_until = 0.0
+        #: Total serialization time ever scheduled (including the tail of
+        #: packets still queued or on the wire).
+        self._busy_time_scheduled = 0.0
         self._taps: List[PacketTap] = []
         self.bytes_carried = 0
         self.packets_carried = 0
@@ -61,11 +64,19 @@ class Link:
         self._taps.remove(observer)
 
     def utilization_until_now(self) -> float:
-        """Fraction of elapsed time the transmitter has been busy."""
-        if self.loop.now <= 0:
+        """Fraction of elapsed time the transmitter has been busy.
+
+        Counts only transmission that has already happened: serialization
+        scheduled beyond ``now`` (bytes still queued or on the wire) is
+        excluded, so the value is a true busy-time integral and always
+        lands in [0, 1].
+        """
+        now = self.loop.now
+        if now <= 0:
             return 0.0
-        busy = min(self._busy_until, self.loop.now)
-        return (self.bytes_carried * 8.0 / self.rate_bps) / self.loop.now if busy else 0.0
+        pending = max(0.0, self._busy_until - now)
+        completed = self._busy_time_scheduled - pending
+        return min(1.0, max(0.0, completed / now))
 
     def send(self, packet: Packet) -> None:
         """Enqueue ``packet`` for transmission."""
@@ -80,6 +91,7 @@ class Link:
         throttle_wait = start - max(now, self._busy_until)
         tx_time = packet.wire_bytes * 8.0 / self.rate_bps
         self._busy_until = start + tx_time
+        self._busy_time_scheduled += tx_time
         self.bytes_carried += packet.wire_bytes
         self.packets_carried += 1
         arrival = self._busy_until + self.delay_s

@@ -216,6 +216,105 @@ class MetricsRegistry:
             raise ValueError(f"unknown metric kind {kind!r}")
         return self._family(name, kind, help, buckets)
 
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> dict:
+        """A plain-data, picklable dump of every family and child.
+
+        The payload crosses process boundaries (parallel study workers
+        ship their registries back to the parent), so it contains only
+        builtins: lists, dicts, strings, numbers.
+        """
+        families = []
+        for family in self.families():
+            children = []
+            for key in sorted(family.children):
+                child = family.children[key]
+                entry: Dict[str, object] = {"labels": [list(pair) for pair in key]}
+                if family.kind == "counter":
+                    entry["value"] = child.value
+                elif family.kind == "gauge":
+                    entry["value"] = child.value
+                    entry["high_water"] = child.high_water
+                else:
+                    entry["count"] = child.count
+                    entry["sum"] = child.sum
+                    entry["min"] = child.min
+                    entry["max"] = child.max
+                    entry["bucket_counts"] = list(child.bucket_counts)
+                    entry["values"] = (
+                        None if child._values is None else list(child._values)
+                    )
+                children.append(entry)
+            families.append({
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "buckets": list(family.buckets),
+                "children": children,
+            })
+        return {"families": families}
+
+    def merge_from(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Merge semantics are associative and commutative, so per-worker
+        snapshots can be folded in any grouping and produce the same
+        registry: counters and histograms add, gauges keep the maximum
+        of ``value`` and ``high_water`` (workers report progress
+        concurrently, so "furthest along" is the only order-free
+        reading).  A family already registered under a different kind
+        or with different histogram buckets raises :class:`ValueError`.
+        """
+        for family_data in snapshot.get("families", []):
+            family = self._family(
+                family_data["name"], family_data["kind"],
+                family_data.get("help", ""),
+                tuple(family_data.get("buckets", DEFAULT_BUCKETS)),
+            )
+            if (family.kind == "histogram"
+                    and tuple(sorted(family_data["buckets"])) != family.buckets):
+                raise ValueError(
+                    f"histogram {family.name!r}: snapshot bucket layout "
+                    f"does not match the registered family"
+                )
+            for entry in family_data["children"]:
+                labels = {k: v for k, v in entry["labels"]}
+                child = family.child(labels)
+                if family.kind == "counter":
+                    child.inc(entry["value"])
+                elif family.kind == "gauge":
+                    if entry["value"] > child.value:
+                        child.value = entry["value"]
+                    if entry["high_water"] > child.high_water:
+                        child.high_water = entry["high_water"]
+                else:
+                    self._merge_histogram(family, child, entry)
+
+    @staticmethod
+    def _merge_histogram(family: MetricFamily, child: Histogram, entry: dict) -> None:
+        incoming_counts = entry["bucket_counts"]
+        if len(incoming_counts) != len(child.bucket_counts):
+            raise ValueError(
+                f"histogram {family.name!r}: snapshot bucket layout does "
+                f"not match the registered family"
+            )
+        child.count += entry["count"]
+        child.sum += entry["sum"]
+        child.min = min(child.min, entry["min"])
+        child.max = max(child.max, entry["max"])
+        for index, bucket_count in enumerate(incoming_counts):
+            child.bucket_counts[index] += bucket_count
+        incoming_values = entry["values"]
+        if child._values is None or incoming_values is None:
+            child._values = None
+        elif len(child._values) + len(incoming_values) > child._value_cap:
+            child._values = None  # past the cap: buckets only, like observe()
+        else:
+            merged = child._values + list(incoming_values)
+            merged.sort()
+            child._values = merged
+
     # ------------------------------------------------------------------- walk
 
     def families(self) -> List[MetricFamily]:

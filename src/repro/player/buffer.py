@@ -92,7 +92,9 @@ class PlayoutBuffer:
             return
         if self._buffered_until is None:
             self._buffered_until = upto_pts
-            self._play_origin = upto_pts  # refined by first add below
+            # Default origin: the first frontier seen.  set_play_origin
+            # may pin a different one, but only before playback starts.
+            self._play_origin = upto_pts
         if upto_pts <= self._buffered_until and self._playing:
             return
         self._buffered_until = max(self._buffered_until, upto_pts)
@@ -249,9 +251,9 @@ class PlayoutBuffer:
             )
             self._stall_started_at = None
         playback = sum(d for d, _ in self._intervals)
-        total = sum(d for d, _ in self._intervals)
         mean_latency = (
-            sum(d * l for d, l in self._intervals) / total if total > 0 else None
+            sum(d * l for d, l in self._intervals) / playback
+            if playback > 0 else None
         )
         return PlaybackReport(
             started=True,

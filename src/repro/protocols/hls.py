@@ -13,6 +13,7 @@ in :mod:`repro.player.hls_player`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -45,7 +46,8 @@ class MediaPlaylist:
         lines = [
             "#EXTM3U",
             f"#EXT-X-VERSION:{self.version}",
-            f"#EXT-X-TARGETDURATION:{int(round(self.target_duration_s + 0.5))}",
+            # The spec's rounding is a ceiling: 3.0 stays 3, 3.2 becomes 4.
+            f"#EXT-X-TARGETDURATION:{math.ceil(self.target_duration_s)}",
             f"#EXT-X-MEDIA-SEQUENCE:{self.media_sequence}",
         ]
         for entry in self.entries:

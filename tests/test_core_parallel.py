@@ -1,0 +1,132 @@
+"""Tests for process-parallel session execution (repro.core.parallel).
+
+The headline guarantee: a parallel study batch is *bit-identical* to the
+serial one — same sessions, same order, same bytes — because sampling is
+serial and each session is hermetic given its setup.
+"""
+
+import pytest
+
+from repro import obs
+from repro.automation.devices import GALAXY_S3
+from repro.core.config import StudyConfig
+from repro.core.parallel import chunk_bounds, run_sessions
+from repro.core.session import SessionSetup
+from repro.core.study import AutomatedViewingStudy
+from repro.obs.metrics import MetricsRegistry
+from repro.service.selection import DeliveryProtocol
+
+SEED = 4242
+N_SESSIONS = 4
+
+
+def run_study(workers):
+    study = AutomatedViewingStudy(StudyConfig(seed=SEED))
+    return study.run_batch(N_SESSIONS, workers=workers)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset():
+    return run_study(workers=1)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_dataset_bit_identical_to_serial(serial_dataset, workers):
+    parallel = run_study(workers=workers)
+    assert parallel.sessions == serial_dataset.sessions
+    assert parallel.avatar_bytes == serial_dataset.avatar_bytes
+    assert parallel.down_bytes == serial_dataset.down_bytes
+    assert parallel.shortfall == serial_dataset.shortfall
+
+
+def test_parallel_metrics_fold_into_parent():
+    study = AutomatedViewingStudy(StudyConfig(seed=SEED))
+    with obs.session(metrics=True, tracing=False, profiling=False) as telemetry:
+        ds = study.run_batch(N_SESSIONS, workers=2)
+        counter = telemetry.metrics.get("study_sessions_total", limit="100")
+        assert counter is not None
+        assert counter.value == float(len(ds.sessions))
+        # The parent itself only records sampling-phase counters; any
+        # histogram observation in its registry must have been merged in
+        # from a worker snapshot.
+        histogram_observations = sum(
+            child["count"]
+            for family in telemetry.metrics.snapshot()["families"]
+            if family["kind"] == "histogram"
+            for child in family["children"]
+        )
+        assert histogram_observations > 0
+
+
+def test_worker_crash_propagates_to_parent():
+    # A poisoned setup must fail the batch loudly in the parent (via
+    # Future.result()), not hang the pool or silently drop the session.
+    poisoned = SessionSetup(
+        broadcast=None,
+        age_at_join=10.0,
+        protocol=DeliveryProtocol.RTMP,
+        device=GALAXY_S3,
+        seed=1,
+    )
+    with pytest.raises((AttributeError, TypeError)):
+        run_sessions([poisoned], study_seed=SEED, workers=2)
+
+
+def test_run_sessions_rejects_single_worker():
+    with pytest.raises(ValueError):
+        run_sessions([], study_seed=SEED, workers=1)
+
+
+def test_chunk_bounds_cover_each_index_exactly_once():
+    for n_items in (0, 1, 2, 5, 16, 33):
+        for workers in (2, 4, 8):
+            bounds = chunk_bounds(n_items, workers)
+            covered = [i for start, stop in bounds for i in range(start, stop)]
+            assert covered == list(range(n_items)), (n_items, workers)
+
+
+def _registry(observations, counter_by, gauge_to):
+    registry = MetricsRegistry()
+    registry.counter("chunk_sessions_total", limit="1").inc(counter_by)
+    registry.gauge("chunk_progress", limit="1").set(gauge_to)
+    histogram = registry.histogram("chunk_join_seconds")
+    for value in observations:
+        histogram.observe(value)
+    return registry
+
+
+def test_metrics_merge_is_associative():
+    snaps = [
+        _registry([0.1, 0.4], 2.0, 3.0).snapshot(),
+        _registry([2.0], 5.0, 1.0).snapshot(),
+        _registry([0.02, 7.5, 0.3], 1.0, 9.0).snapshot(),
+    ]
+    # (A + B) + C
+    ab = MetricsRegistry()
+    ab.merge_from(snaps[0])
+    ab.merge_from(snaps[1])
+    left = MetricsRegistry()
+    left.merge_from(ab.snapshot())
+    left.merge_from(snaps[2])
+    # A + (B + C)
+    bc = MetricsRegistry()
+    bc.merge_from(snaps[1])
+    bc.merge_from(snaps[2])
+    right = MetricsRegistry()
+    right.merge_from(snaps[0])
+    right.merge_from(bc.snapshot())
+    assert left.snapshot() == right.snapshot()
+
+
+def test_metrics_merge_is_commutative():
+    snaps = [
+        _registry([0.5], 1.0, 2.0).snapshot(),
+        _registry([0.25, 3.0], 4.0, 1.0).snapshot(),
+    ]
+    forward = MetricsRegistry()
+    forward.merge_from(snaps[0])
+    forward.merge_from(snaps[1])
+    backward = MetricsRegistry()
+    backward.merge_from(snaps[1])
+    backward.merge_from(snaps[0])
+    assert forward.snapshot() == backward.snapshot()

@@ -2,9 +2,10 @@
 
 import pytest
 
+from repro import obs
 from repro.core.config import StudyConfig
 from repro.core.qoe import SessionQoE, stall_ratio
-from repro.core.study import AutomatedViewingStudy
+from repro.core.study import AutomatedViewingStudy, StudyDataset
 from repro.service.selection import DeliveryProtocol
 
 
@@ -93,6 +94,43 @@ def test_low_bandwidth_hurts_qoe():
         return sum(s.stall_ratio for s in sessions) / len(sessions)
 
     assert mean_ratio(starved) > mean_ratio(healthy) + 0.05
+
+
+def test_by_limit_matches_computed_floats():
+    # Regression: by_limit used exact float ==, so a session recorded at
+    # a computed sweep point (0.1 * 3 != 0.3) was silently dropped from
+    # its limit bucket.
+    computed = 0.1 * 3
+    assert computed != 0.3  # the pre-fix failure mode only exists if so
+    session = SessionQoE(
+        broadcast_id="b", protocol="rtmp", device="galaxy-s3",
+        bandwidth_limit_mbps=computed, watch_seconds=60.0,
+        join_time_s=1.0, playback_s=59.0,
+    )
+    ds = StudyDataset(sessions=[session])
+    assert ds.by_limit(0.3) == [session]
+    assert ds.by_limit(1.0) == []
+
+
+def test_batch_shortfall_warns_and_is_surfaced():
+    # Regression: a batch whose teleport retry budget ran out silently
+    # returned a short dataset; now it warns, counts, and records the
+    # shortfall on the dataset.
+    study = AutomatedViewingStudy(StudyConfig(seed=5))
+    study.world.teleport = lambda rng, exclude=None: None  # dead world
+    with obs.session(metrics=True, tracing=False, profiling=False) as telemetry:
+        with pytest.warns(RuntimeWarning, match="shortfall"):
+            ds = study.run_batch(3)
+        counter = telemetry.metrics.get("study_batch_shortfall_total", limit="100")
+        assert counter is not None and counter.value == 3.0
+    assert ds.sessions == []
+    assert ds.shortfall == 3
+
+
+def test_extend_accumulates_shortfall():
+    a = StudyDataset(shortfall=2)
+    a.extend(StudyDataset(shortfall=1))
+    assert a.shortfall == 3
 
 
 def test_study_deterministic():

@@ -340,6 +340,43 @@ class TestLayering:
         assert rule_ids_of(findings) == ["L303"]
 
 
+# ---------------------------------------------------------------- L304
+
+class TestProcessPoolConfinement:
+    def test_pool_import_outside_parallel_flagged(self):
+        findings = lint_sources({
+            "src/repro/core/sneaky.py":
+                "from concurrent.futures import ProcessPoolExecutor\n",
+        }, only_rules=["L304"])
+        assert rule_ids_of(findings) == ["L304"]
+
+    def test_multiprocessing_flagged_even_deferred(self):
+        findings = lint_sources({
+            "src/repro/service/snippet.py": textwrap.dedent("""
+                def fan_out():
+                    import multiprocessing.pool
+                    return multiprocessing.pool.Pool()
+            """),
+        }, only_rules=["L304"])
+        assert rule_ids_of(findings) == ["L304"]
+
+    def test_declared_parallel_module_exempt(self):
+        findings = lint_sources({
+            "src/repro/core/parallel.py": textwrap.dedent("""
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+            """),
+        }, only_rules=["L304"])
+        assert findings == []
+
+    def test_outside_repro_clean(self):
+        findings = lint_sources({
+            "tools/snippet.py":
+                "from concurrent.futures import ProcessPoolExecutor\n",
+        }, only_rules=["L304"])
+        assert findings == []
+
+
 # ---------------------------------------------------------------- F401/F402
 
 class TestFloatDiscipline:
@@ -399,6 +436,49 @@ class TestFloatDiscipline:
                     count += 1
                     loop.schedule_at(10.0, fire)
         """, rules=["F402"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------- F403
+
+class TestBandwidthLimitEquality:
+    def test_attribute_equality_flagged(self):
+        findings = findings_for("""
+            def by_limit(sessions, limit):
+                return [s for s in sessions
+                        if s.bandwidth_limit_mbps == limit]
+        """, path="src/repro/core/snippet.py", rules=["F403"])
+        assert rule_ids_of(findings) == ["F403"]
+
+    def test_mbps_name_inequality_flagged(self):
+        findings = findings_for("""
+            def changed(old_mbps, new_mbps):
+                return old_mbps != new_mbps
+        """, path="src/repro/core/snippet.py", rules=["F403"])
+        assert rule_ids_of(findings) == ["F403"]
+
+    def test_isclose_clean(self):
+        findings = findings_for("""
+            import math
+
+            def by_limit(sessions, limit):
+                return [s for s in sessions
+                        if math.isclose(s.bandwidth_limit_mbps, limit)]
+        """, path="src/repro/core/snippet.py", rules=["F403"])
+        assert findings == []
+
+    def test_sentinel_literals_exempt(self):
+        findings = findings_for("""
+            def unshaped(nominal_mbps, limit_mbps):
+                return nominal_mbps == 0.0 or limit_mbps == 100
+        """, path="src/repro/core/snippet.py", rules=["F403"])
+        assert findings == []
+
+    def test_outside_sim_packages_clean(self):
+        findings = findings_for("""
+            def check(limit_mbps, other_mbps):
+                return limit_mbps == other_mbps
+        """, path="src/repro/analysis/snippet.py", rules=["F403"])
         assert findings == []
 
 

@@ -86,6 +86,38 @@ def test_link_counters():
     assert link.bytes_carried == pkt.wire_bytes
 
 
+def test_utilization_counts_only_completed_transmission():
+    # Regression: utilization divided *all* bytes ever enqueued by
+    # elapsed time, counting bytes still queued/being serialized, so a
+    # deep backlog reported utilization > 1.0.
+    loop = EventLoop()
+    link = Link(loop, rate_bps=8_000.0, delay_s=0.0)  # 1000 B/s
+    link.deliver = lambda p: None
+    # Two packets of 1 s serialization each, both enqueued at t=0.
+    link.send(make_packet(nbytes=1000 - HEADER_BYTES, seq=0))
+    link.send(make_packet(nbytes=1000 - HEADER_BYTES, seq=1))
+    loop.run_until(1.0)
+    # At t=1 only the first packet has finished serializing; the old
+    # code reported 2000 B * 8 / 8000 / 1 s = 2.0 here.
+    assert link.utilization_until_now() == pytest.approx(1.0)
+    loop.run_until(4.0)
+    # Busy 2 s out of 4 s elapsed.
+    assert link.utilization_until_now() == pytest.approx(0.5)
+
+
+def test_utilization_is_clamped_and_zero_at_start():
+    loop = EventLoop()
+    link = Link(loop, rate_bps=8_000.0, delay_s=0.0)
+    link.deliver = lambda p: None
+    # Regression: at now == _busy_until == 0 the old truthiness guard
+    # (`if busy`) took the wrong branch; enqueue at t=0 and ask
+    # immediately — before any time has elapsed there is no utilization.
+    link.send(make_packet(nbytes=1000 - HEADER_BYTES))
+    assert link.utilization_until_now() == 0.0
+    loop.run()
+    assert 0.0 <= link.utilization_until_now() <= 1.0
+
+
 def test_queue_delay_now_reflects_backlog():
     loop = EventLoop()
     link = Link(loop, rate_bps=8_000.0, delay_s=0.0)

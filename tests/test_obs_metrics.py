@@ -120,6 +120,101 @@ def test_summary_render_contains_quantiles():
     assert "requests_total" in text
 
 
+class TestSnapshotMerge:
+    def test_counters_add(self):
+        a = MetricsRegistry()
+        a.counter("events_total", status="ok").inc(3)
+        b = MetricsRegistry()
+        b.counter("events_total", status="ok").inc(4)
+        b.counter("events_total", status="err").inc(1)
+        a.merge_from(b.snapshot())
+        assert a.get("events_total", status="ok").value == 7.0
+        assert a.get("events_total", status="err").value == 1.0
+
+    def test_gauges_take_max(self):
+        a = MetricsRegistry()
+        a.gauge("progress").set(9)
+        a.gauge("progress").set(2)  # value 2, high_water 9
+        b = MetricsRegistry()
+        b.gauge("progress").set(5)
+        a.merge_from(b.snapshot())
+        gauge = a.get("progress")
+        assert gauge.value == 5.0
+        assert gauge.high_water == 9.0
+
+    def test_histograms_merge_exactly(self):
+        a = MetricsRegistry()
+        for value in (0.1, 0.4):
+            a.histogram("join_seconds").observe(value)
+        b = MetricsRegistry()
+        for value in (0.2, 0.3, 2.0):
+            b.histogram("join_seconds").observe(value)
+        a.merge_from(b.snapshot())
+        merged = a.get("join_seconds")
+        assert merged.count == 5
+        assert merged.sum == pytest.approx(3.0)
+        assert merged.min == 0.1 and merged.max == 2.0
+        assert merged.exact
+        assert merged.quantile(0.5) == 0.3  # needs the merged raw values
+
+    def test_histogram_merge_respects_value_cap(self):
+        a = MetricsRegistry()
+        big = a.histogram("x_seconds", buckets=(1.0, 10.0))
+        big._value_cap = 3
+        big.observe(0.5)
+        big.observe(0.7)
+        b = MetricsRegistry()
+        other = b.histogram("x_seconds", buckets=(1.0, 10.0))
+        for value in (0.1, 0.2):
+            other.observe(value)
+        a.merge_from(b.snapshot())
+        merged = a.get("x_seconds")
+        assert merged.count == 4
+        assert not merged.exact  # 2 + 2 > cap of 3: buckets only, like observe()
+        assert merged.quantile(0.5) is not None
+
+    def test_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x_total").inc()
+        b = MetricsRegistry()
+        b.gauge("x_total").set(1)
+        with pytest.raises(ValueError):
+            a.merge_from(b.snapshot())
+
+    def test_bucket_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("x_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("x_seconds", buckets=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge_from(b.snapshot())
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", status="ok").inc()
+        registry.histogram("h_seconds").observe(1.0)
+        snap = registry.snapshot()
+
+        def only_builtins(node):
+            if isinstance(node, dict):
+                return all(isinstance(k, str) and only_builtins(v)
+                           for k, v in node.items())
+            if isinstance(node, list):
+                return all(only_builtins(item) for item in node)
+            return node is None or isinstance(node, (str, int, float))
+
+        assert only_builtins(snap)
+
+    def test_merge_into_empty_equals_original(self):
+        source = MetricsRegistry()
+        source.counter("c_total").inc(2)
+        source.gauge("g").set(4)
+        source.histogram("h_seconds").observe(0.25)
+        target = MetricsRegistry()
+        target.merge_from(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
 def test_default_buckets_are_sorted():
     assert list(obs.DEFAULT_BUCKETS) == sorted(obs.DEFAULT_BUCKETS)
     assert not math.isinf(obs.DEFAULT_BUCKETS[-1])

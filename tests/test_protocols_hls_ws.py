@@ -44,6 +44,34 @@ class TestMediaPlaylist:
         assert [e.sequence for e in parsed.entries] == [17, 18, 19]
         assert not parsed.ended
 
+    def test_target_duration_is_spec_ceiling(self):
+        # Regression: render used int(round(target + 0.5)), which
+        # inflated whole-number targets (3.0 -> 4) and, via banker's
+        # rounding, was parity-dependent for odd ones (2.0 -> 2 but
+        # 3.0 -> 4).  The spec wants the ceiling.
+        def rendered_target(seconds):
+            playlist = MediaPlaylist(target_duration_s=seconds, media_sequence=0)
+            tag = [line for line in playlist.render().splitlines()
+                   if line.startswith("#EXT-X-TARGETDURATION:")][0]
+            return int(tag.split(":", 1)[1])
+
+        assert rendered_target(3.0) == 3
+        assert rendered_target(2.0) == 2
+        assert rendered_target(4.0) == 4
+        assert rendered_target(3.2) == 4
+        assert rendered_target(3.9) == 4
+
+    def test_target_duration_roundtrip_stable(self):
+        # parse(render()) must be a fixed point for the target duration,
+        # both for integer and fractional configured targets.
+        for seconds in (2.0, 3.0, 4.0, 3.5, 5.9):
+            once = MediaPlaylist.parse(
+                MediaPlaylist(target_duration_s=seconds, media_sequence=0).render()
+            )
+            twice = MediaPlaylist.parse(once.render())
+            assert twice.target_duration_s == once.target_duration_s
+            assert once.render() == twice.render()
+
     def test_ended_playlist(self):
         playlist = self.playlist()
         playlist.ended = True
