@@ -9,8 +9,9 @@ results are reproducible bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.util.units import MBPS
 
 
@@ -75,6 +76,13 @@ class StudyConfig:
     #: Viewer threshold above which the service serves a broadcast over HLS
     #: via the CDN (paper estimates ≈100).
     hls_viewer_threshold: int = 100
+
+    # ------------------------------------------------------------------ faults
+    #: Optional fault scenario (see :mod:`repro.faults`).  ``None`` means
+    #: the pristine network of the original study; a plan's randomness
+    #: comes from dedicated child streams, so setups and unfaulted
+    #: subsystems sample identically either way.
+    faults: Optional[FaultPlan] = None
 
     # --------------------------------------------------------------- telemetry
     #: Opt-in observability (see :mod:`repro.obs`).  Both default off;

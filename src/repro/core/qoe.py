@@ -64,6 +64,15 @@ class SessionQoE:
     avg_fps: Optional[float] = None
     avg_viewers: float = 0.0
 
+    #: Resilience bookkeeping (empty/zero unless a fault plan was active).
+    #: ``fault_events`` records injected faults and graceful degradations
+    #: ("ingest-outage@12.40", "api-gave-up:accessVideo", "player-gave-up").
+    fault_events: List[str] = field(default_factory=list)
+    api_retries: int = 0
+    transport_retries: int = 0
+    disconnects: int = 0
+    reconnects: int = 0
+
     @property
     def stall_count(self) -> int:
         return len(self.stalls)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.automation.devices import DeviceProfile
@@ -19,6 +19,8 @@ from repro.automation.ntp import BROADCASTER_PHONE_CLOCK, CAPTURE_DESKTOP_CLOCK
 from repro.automation.shaping import shaper_for_limit
 from repro.core.qoe import SessionQoE
 from repro.core.testbed import SessionTestbed, TestbedConfig, VIEWER_LOCATION
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetrySchedule
 from repro.media.frames import EncodedFrame
 from repro.netsim.connection import Connection, Message
 from repro.netsim.events import EventLoop
@@ -65,6 +67,9 @@ class SessionSetup:
     chat_ui_on: bool = True
     cache_avatars: bool = False
     seed: int = 0
+    #: Optional fault plan; ``None`` runs the pristine network with
+    #: bit-identical behaviour to builds that predate fault injection.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -93,7 +98,12 @@ class ViewingSession:
         self.loop = EventLoop()
         self.testbed = SessionTestbed(
             self.loop,
-            TestbedConfig(shaper=shaper_for_limit(setup.bandwidth_limit_mbps)),
+            TestbedConfig(
+                shaper=shaper_for_limit(setup.bandwidth_limit_mbps),
+                faults=setup.faults,
+                fault_seed=seed,
+                fault_horizon_s=setup.watch_seconds + 10.0,
+            ),
         )
         self._capture_clock_error = CAPTURE_DESKTOP_CLOCK.sample_offset(
             child_rng(seed, "capture-clock")
@@ -106,7 +116,11 @@ class ViewingSession:
         )
         self._player: Optional[object] = None
         self._rtmp_push: Optional[RtmpPushSession] = None
+        self._rtmp_delivery: Optional[RtmpDelivery] = None
         self._delivery_started = False
+        self._fault_events: List[str] = []
+        self._api_retries = 0
+        self._ingest_windows: List[Tuple[float, float]] = []
 
     # -------------------------------------------------------------- topology
 
@@ -146,16 +160,78 @@ class ViewingSession:
             broadcaster_clock_offset_s=self._broadcaster_clock_error,
         )
 
+        # --- fault plan ----------------------------------------------------
+        plan = setup.faults
+        seed = (setup.seed, setup.broadcast.broadcast_id)
+        api_fault = None
+        api_retry_rng = None
+        if plan is not None and plan.has_api_faults:
+            api_fault = plan.api_injector(child_rng(seed, "fault-api"))
+        if plan is not None:
+            api_retry_rng = child_rng(seed, "fault-api-retry")
+        if plan is not None and plan.has_ingest_faults:
+            self._ingest_windows = plan.ingest_windows(
+                child_rng(seed, "fault-ingest"), setup.watch_seconds
+            )
+            for window_start, _window_end in self._ingest_windows:
+                self._fault_events.append(f"ingest-outage@{window_start:.2f}")
+
         # --- API frontend -------------------------------------------------
         api_stream = tb.stream_to("api", name="api")
         api_responses = {"count": 0}
 
         def api_handler(request: HttpRequest, identity: str) -> HttpResponse:
+            if api_fault is not None and api_fault.fire():
+                tel = obs.active()
+                if tel.enabled and tel.metrics_on:
+                    tel.metrics.counter(
+                        "faults_injected_total",
+                        "Fault events injected across layers",
+                        kind="api-5xx",
+                    ).inc()
+                return HttpResponse(
+                    HttpStatus.SERVICE_UNAVAILABLE,
+                    json_body={"error": "Service Unavailable"},
+                )
             api_responses["count"] += 1
             return HttpResponse(HttpStatus.OK, json_body={"ok": True})
 
         HttpServer(loop, api_stream, api_handler, processing_delay_s=0.030)
         api_client = HttpClient(loop, api_stream)
+
+        def api_call(json_body: dict, on_ok, kind: str) -> None:
+            """Issue one API request; with a fault plan active, walk the
+            shared retry policy on 5xx and degrade gracefully (a recorded
+            fault event) when the budget runs out."""
+            request = HttpRequest("POST", "/api/v2/apiRequest", json_body=json_body)
+            if plan is None:
+                api_client.request(request, on_ok)
+                return
+            schedule = RetrySchedule(
+                plan.retry, rng=api_retry_rng, started_at=loop.now
+            )
+
+            def send() -> None:
+                api_client.request(request, on_response)
+
+            def on_response(response: HttpResponse, now: float) -> None:
+                if response.status != HttpStatus.OK:
+                    delay = schedule.next_delay(now)
+                    if delay is None:
+                        self._fault_events.append(f"api-gave-up:{kind}")
+                        return
+                    self._api_retries += 1
+                    tel = obs.active()
+                    if tel.enabled and tel.metrics_on:
+                        tel.metrics.counter(
+                            "retries_total", "Client retry attempts",
+                            kind="session-api",
+                        ).inc()
+                    loop.schedule(delay, send)
+                    return
+                on_ok(response, now)
+
+            send()
 
         # --- media path ----------------------------------------------------
         if setup.protocol == DeliveryProtocol.RTMP:
@@ -227,18 +303,18 @@ class ViewingSession:
             self._begin_media(now)
 
         def on_teleport(response: HttpResponse, now: float) -> None:
-            api_client.request(
-                HttpRequest("POST", "/api/v2/apiRequest",
-                            json_body={"request": "accessVideo",
-                                       "broadcast_id": setup.broadcast.broadcast_id}),
+            api_call(
+                {"request": "accessVideo",
+                 "broadcast_id": setup.broadcast.broadcast_id},
                 on_access_video,
+                kind="accessVideo",
             )
 
-        api_client.request(
-            HttpRequest("POST", "/api/v2/apiRequest",
-                        json_body={"request": "getBroadcasts",
-                                   "broadcast_ids": [setup.broadcast.broadcast_id]}),
+        api_call(
+            {"request": "getBroadcasts",
+             "broadcast_ids": [setup.broadcast.broadcast_id]},
             on_teleport,
+            kind="getBroadcasts",
         )
 
         # --- run the watch --------------------------------------------------
@@ -247,10 +323,10 @@ class ViewingSession:
 
         # The app uploads playbackMeta after the session closes.
         playback_meta = self._playback_meta(report)
-        api_client.request(
-            HttpRequest("POST", "/api/v2/apiRequest",
-                        json_body={"request": "playbackMeta", "stats": playback_meta}),
+        api_call(
+            {"request": "playbackMeta", "stats": playback_meta},
             lambda resp, t: None,
+            kind="playbackMeta",
         )
         loop.run_until(setup.watch_seconds + 2.0)
 
@@ -315,6 +391,48 @@ class ViewingSession:
         self._rtmp_delivery = RtmpDelivery(self._rtmp_push, driver)
         self._player = player
         self._handshake_stage = 0
+        if self._ingest_windows:
+            reconnect_rng = child_rng(
+                (setup.seed, setup.broadcast.broadcast_id), "fault-reconnect"
+            )
+            for window in self._ingest_windows:
+                self.loop.schedule_at(
+                    window[0],
+                    lambda w=window, r=reconnect_rng: self._on_ingest_outage(
+                        w[0], w[1], r
+                    ),
+                )
+
+    def _on_ingest_outage(self, window_start: float, window_end: float,
+                          rng: random.Random) -> None:
+        """An ingest server went down mid-stream: the RTMP push stops and
+        the player walks the reconnect policy.  With regional failover a
+        healthy region accepts immediately; otherwise reconnects fail
+        until the primary recovers at ``window_end``."""
+        delivery = self._rtmp_delivery
+        if delivery is None or not delivery.started or delivery.interrupted:
+            return
+        delivery.interrupt()
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            telemetry.metrics.counter(
+                "faults_injected_total", "Fault events injected across layers",
+                kind="ingest-outage",
+            ).inc()
+        plan = self.setup.faults
+        assert plan is not None
+        primary = self.ingest.nearest_to(self.setup.broadcast.location)
+        failover_ok = plan.ingest_failover and any(
+            s.region != primary.region for s in self.ingest.servers
+        )
+
+        def probe(now: float) -> bool:
+            return failover_ok or now >= window_end
+
+        def on_restored(now: float) -> None:
+            delivery.resume()
+
+        self._player.begin_reconnect(plan.retry, probe, on_restored, rng=rng)
 
     def _rtmp_handshake(self) -> None:
         # C0+C1 travel to the server; the reply and the play command are
@@ -346,11 +464,20 @@ class ViewingSession:
 
     def _setup_hls(self, driver: LiveSourceDriver) -> None:
         setup = self.setup
-        origin = HlsOrigin(self.loop, driver)
+        origin = HlsOrigin(self.loop, driver,
+                           outage_windows=tuple(self._ingest_windows))
         playlist_stream = self.testbed.stream_to("media", name="hls-playlist")
         segment_stream = self.testbed.stream_to("media", name="hls-segments")
         HttpServer(self.loop, playlist_stream, origin.handle, processing_delay_s=0.003)
         HttpServer(self.loop, segment_stream, origin.handle, processing_delay_s=0.003)
+        player_kwargs = {}
+        if setup.faults is not None:
+            player_kwargs = {
+                "transport_retry": setup.faults.retry,
+                "retry_rng": child_rng(
+                    (setup.seed, setup.broadcast.broadcast_id), "fault-hls-retry"
+                ),
+            }
         player = HlsPlayer(
             self.loop,
             playlist_client=HttpClient(self.loop, playlist_stream),
@@ -358,6 +485,7 @@ class ViewingSession:
             playlist_path=f"/{setup.broadcast.broadcast_id}/playlist.m3u8",
             broadcast_start=-setup.age_at_join,
             capture_clock_error_s=self._capture_clock_error,
+            **player_kwargs,
         )
         player.set_display_fps_factor(self._display_factor())
         self._hls_origin = origin
@@ -449,6 +577,11 @@ class ViewingSession:
                 bitrate = sum(f.nbytes for f in frames) * 8.0 / span
             qp = sum(f.qp for f in frames) / len(frames)
             fps = player.displayed_fps(report)
+        fault_events = list(self._fault_events)
+        if getattr(player, "gave_up", False) or getattr(
+            player, "reconnect_gave_up", False
+        ):
+            fault_events.append("player-gave-up")
         return SessionQoE(
             broadcast_id=self.setup.broadcast.broadcast_id,
             protocol=self.setup.protocol.value,
@@ -464,4 +597,9 @@ class ViewingSession:
             avg_qp=qp,
             avg_fps=fps,
             avg_viewers=self._viewers,
+            fault_events=fault_events,
+            api_retries=self._api_retries,
+            transport_retries=getattr(player, "transport_retries", 0),
+            disconnects=getattr(player, "disconnects", 0),
+            reconnects=getattr(player, "reconnects", 0),
         )

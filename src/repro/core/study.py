@@ -127,6 +127,7 @@ class AutomatedViewingStudy:
             cache_avatars=cache_avatars,
             seed=child_rng(self.config.seed, "session", self._session_counter)
             .getrandbits(48),
+            faults=self.config.faults,
         )
 
     def run_session(self, setup: SessionSetup) -> SessionArtifacts:

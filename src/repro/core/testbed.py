@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.netsim.duplex import DuplexStream
 from repro.netsim.events import EventLoop
 from repro.netsim.link import TokenBucketShaper
 from repro.netsim.topology import Network
 from repro.netsim.trace import TraceCapture
 from repro.service.geo import GeoPoint
+from repro.util.rng import child_rng
 from repro.util.units import MBPS
 
 #: Where the measurement phones sat (Finland).
@@ -48,6 +50,11 @@ class TestbedConfig:
     tether_delay_s: float = 0.001
     backbone_bandwidth_bps: float = 500.0 * MBPS
     capture_payload: bool = False
+    #: Optional fault scenario; link impairments are built from child
+    #: streams of ``fault_seed`` over ``fault_horizon_s`` of session time.
+    faults: Optional[FaultPlan] = None
+    fault_seed: object = 0
+    fault_horizon_s: float = 120.0
 
 
 class SessionTestbed:
@@ -68,6 +75,19 @@ class SessionTestbed:
             delay_s=config.tether_delay_s,
             down_shaper=config.shaper,
         )
+        # Access-link impairments: the tether is where mobile loss,
+        # jitter, and flaps live (each direction draws its own stream).
+        if config.faults is not None and config.faults.has_link_faults:
+            down_link = self.net.link_between(self.desktop, self.phone)
+            up_link = self.net.link_between(self.phone, self.desktop)
+            down_link.impairment = config.faults.link_impairment(
+                child_rng(config.fault_seed, "fault-link-down"),
+                config.fault_horizon_s, name=down_link.name,
+            )
+            up_link.impairment = config.faults.link_impairment(
+                child_rng(config.fault_seed, "fault-link-up"),
+                config.fault_horizon_s, name=up_link.name,
+            )
         # tcpdump on the tether, both directions.
         self.capture = TraceCapture(capture_payload=config.capture_payload)
         self.capture.tap_link(self.net.link_between(self.desktop, self.phone), "down")

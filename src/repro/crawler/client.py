@@ -12,6 +12,8 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
+from repro.faults.retry import RetryPolicy, RetrySchedule
 from repro.netsim.duplex import DuplexStream
 from repro.netsim.events import EventLoop
 from repro.netsim.topology import Network
@@ -37,9 +39,14 @@ ApiCallback = Callable[[HttpResponse, float], None]
 class CrawlClient:
     """One crawler identity: issues apiRequest commands, honours 429s.
 
-    On a 429 the request is retried after ``backoff_s``; successful
-    requests are spaced ``pace_s`` apart.  This mirrors the paper's
-    pacing, which is what pushes a deep crawl beyond 10 minutes.
+    Throttled (429) and unavailable (503) responses are retried per the
+    shared bounded :class:`~repro.faults.retry.RetryPolicy` — the first
+    retry keeps the historical 2 s backoff, later ones double up to a
+    cap, and a permanently failing service terminates the call after
+    ``max_attempts`` with the final error response handed to the
+    callback.  Successful requests are spaced ``pace_s`` apart,
+    mirroring the paper's pacing (what pushes a deep crawl beyond 10
+    minutes).
     """
 
     def __init__(
@@ -49,33 +56,65 @@ class CrawlClient:
         identity: str,
         pace_s: float = 0.85,
         backoff_s: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
+        retry_rng: Optional[random.Random] = None,
     ) -> None:
         self.loop = loop
         self.http = http
         self.identity = identity
         self.pace_s = pace_s
         self.backoff_s = backoff_s
+        self.retry = retry if retry is not None else RetryPolicy(
+            base_delay_s=backoff_s, factor=2.0,
+            max_delay_s=8.0 * backoff_s, max_attempts=8,
+        )
+        self._retry_rng = retry_rng
         self.requests_sent = 0
         self.throttled = 0
+        self.retries = 0
+        self.gave_up = 0
 
     def call(self, command: str, payload: Dict[str, Any], callback: ApiCallback) -> None:
         """Issue one API command now (no pacing — callers schedule)."""
         body = {"request": command}
         body.update(payload)
-        self.requests_sent += 1
+        schedule = RetrySchedule(
+            self.retry, rng=self._retry_rng, started_at=self.loop.now
+        )
+
+        def send() -> None:
+            self.requests_sent += 1
+            self.http.request(
+                HttpRequest("POST", API_PATH, json_body=body), on_response
+            )
 
         def on_response(response: HttpResponse, now: float) -> None:
-            if response.status == HttpStatus.TOO_MANY_REQUESTS:
-                self.throttled += 1
-                self.loop.schedule(
-                    self.backoff_s, lambda: self.call(command, payload, callback)
-                )
+            if response.status in (
+                HttpStatus.TOO_MANY_REQUESTS, HttpStatus.SERVICE_UNAVAILABLE
+            ):
+                if response.status == HttpStatus.TOO_MANY_REQUESTS:
+                    self.throttled += 1
+                delay = schedule.next_delay(now)
+                if delay is None:
+                    # Bounded give-up: surface the error instead of
+                    # retrying forever (the old constant-backoff loop
+                    # never terminated against a permanently-429ing
+                    # service).
+                    self.gave_up += 1
+                    callback(response, now)
+                    return
+                self.retries += 1
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.metrics_on:
+                    telemetry.metrics.counter(
+                        "retries_total", "Client retry attempts",
+                        kind="crawler-api", identity=self.identity,
+                    ).inc()
+                self.loop.schedule(delay, send)
                 return
             callback(response, now)
 
-        self.http.request(
-            HttpRequest("POST", API_PATH, json_body=body), on_response
-        )
+        send()
 
     def map_query(self, rect: GeoRect, callback: ApiCallback) -> None:
         """One /mapGeoBroadcastFeed for ``rect`` (live only)."""

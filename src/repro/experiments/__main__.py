@@ -32,6 +32,7 @@ from repro import obs
 from repro.experiments import (
     fig1_crawl,
     fig2_usage,
+    fig3_loss,
     fig3_stalls,
     fig4_latency,
     fig5_delivery,
@@ -52,6 +53,7 @@ DRIVERS: Dict[str, tuple] = {
     "fig1": (True, lambda wb, seed: fig1_crawl.run(wb)),
     "fig2": (True, lambda wb, seed: fig2_usage.run(wb)),
     "fig3": (True, lambda wb, seed: fig3_stalls.run(wb)),
+    "fig3loss": (True, lambda wb, seed: fig3_loss.run(wb)),
     "fig4": (True, lambda wb, seed: fig4_latency.run(wb)),
     "fig5": (True, lambda wb, seed: fig5_delivery.run(wb)),
     "fig6": (True, lambda wb, seed: fig6_quality.run(wb)),
@@ -68,6 +70,7 @@ ALIASES: Dict[str, str] = {
     "fig1_crawl": "fig1",
     "fig2_usage": "fig2",
     "fig3_stalls": "fig3",
+    "fig3_loss": "fig3loss",
     "fig4_latency": "fig4",
     "fig5_delivery": "fig5",
     "fig6_quality": "fig6",
@@ -101,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for study session execution (datasets are "
              "bit-identical to --workers 1; session-level spans from "
              "--trace-out are only collected serially)",
+    )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault plan for study sessions, e.g. "
+             "'loss=0.02,jitter=0.01,flap=0.02:0.5:2,ingest=0.01:1:3,"
+             "api5xx=0.05' or 'loss=ge:0.02:0.3:0.5' (Gilbert-Elliott); "
+             "'none' disables faults (the default)",
     )
     parser.add_argument(
         "--metrics", metavar="PATH", default=None,
@@ -141,6 +151,11 @@ def main(argv: Optional[list] = None) -> int:
             profiling=args.metrics is not None,
         ))
     try:
+        from repro.faults.plan import FaultPlan
+
+        faults = FaultPlan.parse(args.faults) if args.faults else None
+        if faults is not None and faults.empty:
+            faults = None
         workbench = Workbench(
             seed=args.seed,
             unlimited_sessions=args.sessions,
@@ -148,6 +163,7 @@ def main(argv: Optional[list] = None) -> int:
             metrics=args.metrics is not None,
             tracing=args.trace_out is not None,
             workers=args.workers,
+            faults=faults,
         )
         figure = ALIASES.get(args.figure, args.figure)
         names = sorted(DRIVERS) if figure == "all" else [figure]

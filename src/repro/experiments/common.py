@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.config import StudyConfig
+from repro.faults.plan import FaultPlan
 from repro.core.study import AutomatedViewingStudy, StudyDataset
 from repro.crawler.client import CrawlHarness
 from repro.crawler.deep import DeepCrawler, DeepCrawlResult
@@ -35,9 +36,11 @@ class Workbench:
         metrics: bool = False,
         tracing: bool = False,
         workers: int = 1,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = StudyConfig(seed=seed, metrics_enabled=metrics,
-                                  tracing_enabled=tracing, workers=workers)
+                                  tracing_enabled=tracing, workers=workers,
+                                  faults=faults)
         #: Activate telemetry up front so loops built by crawls (which do
         #: not go through AutomatedViewingStudy) are profiled too.
         self.telemetry = obs.ensure_active(metrics=metrics, tracing=tracing)

@@ -1,0 +1,41 @@
+"""Seeded fault injection: impairments, outages, and client retry.
+
+The paper measured Periscope over a shaped but *lossless* access link;
+this package adds the missing robustness axis.  Three layers share it:
+
+* :mod:`repro.faults.impair` — per-link packet-loss (Bernoulli or
+  Gilbert-Elliott), latency jitter, and up/down flap schedules, modelled
+  as head-of-line-blocking recovery delay so the reliable in-order
+  stream abstraction of :mod:`repro.netsim.connection` stays intact;
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the picklable scenario
+  description wired through ``StudyConfig.faults`` and the ``--faults``
+  CLI grammar;
+* :mod:`repro.faults.retry` — the shared bounded-retry policy
+  (exponential backoff, seeded jitter, deadline) used by the crawler,
+  the HLS player, and the RTMP reconnect path.
+
+Every random draw comes from a dedicated :func:`repro.util.rng.child_rng`
+stream, so enabling faults never perturbs the existing seed tree and a
+faulted run is bit-reproducible for a given (seed, plan).
+"""
+
+from repro.faults.impair import (
+    FlapSchedule,
+    LinkImpairment,
+    LossProcess,
+    LossSpec,
+    OutageSpec,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, RetrySchedule
+
+__all__ = [
+    "FaultPlan",
+    "FlapSchedule",
+    "LinkImpairment",
+    "LossProcess",
+    "LossSpec",
+    "OutageSpec",
+    "RetryPolicy",
+    "RetrySchedule",
+]

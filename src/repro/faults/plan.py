@@ -1,0 +1,253 @@
+"""FaultPlan: the picklable description of one fault scenario.
+
+A plan names *what* can go wrong; *when* it goes wrong is sampled per
+session from dedicated ``child_rng`` streams, so the same (seed, plan)
+pair replays bit-identically — serially, across a process pool, and
+across runs.
+
+CLI grammar (``--faults``), comma-separated items::
+
+    loss=P                      Bernoulli per-packet loss, probability P
+    loss=ge:PGB:PBG:PLOSS       Gilbert-Elliott loss (good->bad, bad->good,
+                                loss probability in the bad state)
+    jitter=STD                  zero-mean latency jitter, stddev STD seconds
+    flap=RATE:MIN:MAX           access-link flaps: Poisson rate (per s),
+                                down-window duration uniform in [MIN, MAX]
+    ingest=RATE:MIN:MAX         ingest-server outage windows (same shape)
+    api5xx=P                    each API request fails with a 503, prob. P
+    retry=BASE:FACTOR:ATTEMPTS  override the client retry policy
+
+Example: ``--faults loss=0.05,jitter=0.01,ingest=0.02:3:8``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.faults.impair import FlapSchedule, LinkImpairment, LossSpec, OutageSpec
+from repro.faults.retry import FAULT_RETRY, RetryPolicy
+
+
+class ApiErrorInjector:
+    """Bernoulli 5xx injection for one session's API frontend."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self.rate = rate
+        self._rng = rng
+        self.injected = 0
+
+    def fire(self) -> bool:
+        if self.rate <= 0.0:
+            return False
+        if self._rng.random() < self.rate:
+            self.injected += 1
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One fault scenario, applied uniformly to every session of a study.
+
+    ``None``/zero fields mean "that fault is off"; the all-defaults plan
+    injects nothing and a study configured with ``faults=None`` follows
+    the exact same code paths as before the subsystem existed.
+    """
+
+    #: Packet loss on the access (tether) link, both directions.
+    loss: Optional[LossSpec] = None
+    #: Stddev of zero-mean latency jitter on the access link (seconds).
+    jitter_s: float = 0.0
+    #: Up/down flap schedule for the access link.
+    flap: Optional[OutageSpec] = None
+    #: Ingest-server outage windows (RTMP disconnects / HLS publish gaps).
+    ingest_outage: Optional[OutageSpec] = None
+    #: Whether an RTMP reconnect may fail over to another region's ingest
+    #: server (re-resolving accessVideo) instead of waiting out the outage.
+    ingest_failover: bool = True
+    #: Probability an API request is answered with an injected 503.
+    api_error_rate: float = 0.0
+    #: Retry policy the resilient clients walk under this plan.
+    retry: RetryPolicy = field(default=FAULT_RETRY)
+
+    def __post_init__(self) -> None:
+        if self.jitter_s < 0:
+            raise ValueError("jitter stddev must be non-negative")
+        if not 0.0 <= self.api_error_rate < 1.0:
+            raise ValueError("API error rate must be in [0, 1)")
+
+    # ------------------------------------------------------------- predicates
+
+    @property
+    def has_link_faults(self) -> bool:
+        return (
+            (self.loss is not None and self.loss.active)
+            or self.jitter_s > 0.0
+            or (self.flap is not None and self.flap.active)
+        )
+
+    @property
+    def has_ingest_faults(self) -> bool:
+        return self.ingest_outage is not None and self.ingest_outage.active
+
+    @property
+    def has_api_faults(self) -> bool:
+        return self.api_error_rate > 0.0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.has_link_faults or self.has_ingest_faults
+                    or self.has_api_faults)
+
+    # -------------------------------------------------------------- factories
+
+    def link_impairment(
+        self, rng: random.Random, horizon_s: float, name: str
+    ) -> Optional[LinkImpairment]:
+        """Build one link's impairment from a dedicated rng stream.
+
+        Flap windows are materialized up front over ``horizon_s`` so the
+        per-packet path stays draw-free for flaps.
+        """
+        if not self.has_link_faults:
+            return None
+        flaps = None
+        if self.flap is not None and self.flap.active:
+            flaps = FlapSchedule(self.flap.windows(rng, 0.0, horizon_s))
+        return LinkImpairment(
+            rng,
+            loss=self.loss if self.loss is not None and self.loss.active else None,
+            jitter_s=self.jitter_s,
+            flaps=flaps,
+            name=name,
+        )
+
+    def api_injector(self, rng: random.Random) -> Optional[ApiErrorInjector]:
+        if not self.has_api_faults:
+            return None
+        return ApiErrorInjector(self.api_error_rate, rng)
+
+    def ingest_windows(
+        self, rng: random.Random, horizon_s: float
+    ) -> List[tuple]:
+        if not self.has_ingest_faults:
+            return []
+        assert self.ingest_outage is not None
+        return self.ingest_outage.windows(rng, 0.0, horizon_s)
+
+    # ------------------------------------------------------------------ parse
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``--faults`` grammar (see module docstring)."""
+        text = (spec or "").strip()
+        if not text or text.lower() in ("none", "off"):
+            return cls()
+        loss: Optional[LossSpec] = None
+        jitter_s = 0.0
+        flap: Optional[OutageSpec] = None
+        ingest: Optional[OutageSpec] = None
+        api_error_rate = 0.0
+        retry = FAULT_RETRY
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"bad fault item {item!r}: expected key=value")
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            try:
+                if key == "loss":
+                    loss = cls._parse_loss(value)
+                elif key == "jitter":
+                    jitter_s = float(value)
+                elif key == "flap":
+                    flap = cls._parse_outage(value)
+                elif key == "ingest":
+                    ingest = cls._parse_outage(value)
+                elif key == "api5xx":
+                    api_error_rate = float(value)
+                elif key == "retry":
+                    retry = cls._parse_retry(value)
+                else:
+                    raise ValueError(f"unknown fault key {key!r}")
+            except ValueError as error:
+                raise ValueError(f"bad fault item {item!r}: {error}") from error
+        return cls(
+            loss=loss,
+            jitter_s=jitter_s,
+            flap=flap,
+            ingest_outage=ingest,
+            api_error_rate=api_error_rate,
+            retry=retry,
+        )
+
+    @staticmethod
+    def _parse_loss(value: str) -> LossSpec:
+        if value.lower().startswith("ge:"):
+            parts = value.split(":")[1:]
+            if len(parts) != 3:
+                raise ValueError("gilbert loss needs ge:PGB:PBG:PLOSS")
+            p_gb, p_bg, p_loss = (float(p) for p in parts)
+            return LossSpec(
+                model="gilbert",
+                p_good_to_bad=p_gb,
+                p_bad_to_good=p_bg,
+                bad_loss=p_loss,
+            )
+        return LossSpec(model="bernoulli", rate=float(value))
+
+    @staticmethod
+    def _parse_outage(value: str) -> OutageSpec:
+        parts = value.split(":")
+        if len(parts) != 3:
+            raise ValueError("outage spec needs RATE:MIN:MAX")
+        rate, min_down, max_down = (float(p) for p in parts)
+        return OutageSpec(rate_per_s=rate, min_down_s=min_down, max_down_s=max_down)
+
+    @staticmethod
+    def _parse_retry(value: str) -> RetryPolicy:
+        parts = value.split(":")
+        if len(parts) != 3:
+            raise ValueError("retry spec needs BASE:FACTOR:ATTEMPTS")
+        base, factor, attempts = float(parts[0]), float(parts[1]), int(parts[2])
+        return RetryPolicy(
+            base_delay_s=base,
+            factor=factor,
+            max_delay_s=max(base, base * factor ** max(0, attempts - 1)),
+            max_attempts=attempts,
+            jitter_frac=FAULT_RETRY.jitter_frac,
+            deadline_s=FAULT_RETRY.deadline_s,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and figure captions."""
+        parts: List[str] = []
+        if self.loss is not None and self.loss.active:
+            if self.loss.model == "bernoulli":
+                parts.append(f"loss={self.loss.rate:g}")
+            else:
+                parts.append(
+                    f"loss=ge:{self.loss.p_good_to_bad:g}"
+                    f":{self.loss.p_bad_to_good:g}:{self.loss.bad_loss:g}"
+                )
+        if self.jitter_s > 0.0:
+            parts.append(f"jitter={self.jitter_s:g}")
+        if self.flap is not None and self.flap.active:
+            parts.append(
+                f"flap={self.flap.rate_per_s:g}:{self.flap.min_down_s:g}"
+                f":{self.flap.max_down_s:g}"
+            )
+        if self.ingest_outage is not None and self.ingest_outage.active:
+            parts.append(
+                f"ingest={self.ingest_outage.rate_per_s:g}"
+                f":{self.ingest_outage.min_down_s:g}"
+                f":{self.ingest_outage.max_down_s:g}"
+            )
+        if self.api_error_rate > 0.0:
+            parts.append(f"api5xx={self.api_error_rate:g}")
+        return ",".join(parts) if parts else "none"

@@ -12,6 +12,7 @@ crawler/core -> experiments/analysis``)::
 
     util                  pure helpers: units, rng, sampling, tables
     obs                   (special, see below)
+    faults                fault plans, impairments, retry policies
     media, energy         codec/content/power models, no I/O
     netsim                event loop, links, topology (pure infrastructure)
     protocols             wire formats; read media frame types and run
@@ -47,6 +48,7 @@ from typing import Dict, Optional
 RANKS: Dict[str, int] = {
     "util": 0,
     "obs": 5,
+    "faults": 8,
     "media": 10,
     "energy": 10,
     "netsim": 12,
@@ -75,7 +77,7 @@ OBS_FORBIDDEN_MODULES = frozenset({"repro.util.rng", "repro.netsim.events"})
 
 #: Packages whose hot paths must stay hermetic: no environment reads,
 #: no filesystem access (D105).
-HERMETIC_PACKAGES = frozenset({"netsim", "service", "player", "media"})
+HERMETIC_PACKAGES = frozenset({"netsim", "service", "player", "media", "faults"})
 
 #: Packages allowed to read the wall clock (D101): telemetry measures
 #: real elapsed time, and automation models real testbed clocks.
@@ -84,7 +86,8 @@ WALL_CLOCK_PACKAGES = frozenset({"obs", "automation"})
 #: Simulation packages where float time-comparison discipline (F-rules)
 #: applies.
 SIM_PACKAGES = frozenset(
-    {"netsim", "service", "player", "media", "protocols", "core", "crawler"}
+    {"netsim", "service", "player", "media", "protocols", "core", "crawler",
+     "faults"}
 )
 
 #: The only modules allowed to import ``multiprocessing`` /

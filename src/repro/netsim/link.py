@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro import obs
+from repro.faults.impair import LinkImpairment
 from repro.netsim.events import EventLoop
 from repro.netsim.packet import Packet
 
@@ -27,6 +28,11 @@ class Link:
     ``deliver`` is called with each packet once it has fully crossed the
     link.  Observers registered with :meth:`tap` see packets at the moment
     they *enter* the link (like tcpdump on the sending interface).
+
+    An optional :class:`~repro.faults.impair.LinkImpairment` injects
+    loss/jitter/flap delay; it only ever pushes the busy horizon later,
+    so the link stays a FIFO and the reliable-stream layer above needs
+    no changes.
     """
 
     def __init__(
@@ -36,6 +42,7 @@ class Link:
         delay_s: float,
         name: str = "link",
         shaper: Optional["TokenBucketShaper"] = None,
+        impairment: Optional[LinkImpairment] = None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
@@ -46,6 +53,7 @@ class Link:
         self.delay_s = delay_s
         self.name = name
         self.shaper = shaper
+        self.impairment = impairment
         self.deliver: Optional[PacketSink] = None
         self._busy_until = 0.0
         #: Total serialization time ever scheduled (including the tail of
@@ -90,6 +98,12 @@ class Link:
             self.shaper.consume(packet.wire_bytes, start)
         throttle_wait = start - max(now, self._busy_until)
         tx_time = packet.wire_bytes * 8.0 / self.rate_bps
+        impair_wait = 0.0
+        if self.impairment is not None:
+            impaired_start, recovery = self.impairment.apply(start, tx_time)
+            impair_wait = (impaired_start - start) + recovery
+            start = impaired_start
+            tx_time += recovery
         self._busy_until = start + tx_time
         self._busy_time_scheduled += tx_time
         self.bytes_carried += packet.wire_bytes
@@ -115,6 +129,12 @@ class Link:
                     "netsim_link_throttle_seconds_total",
                     "Token-bucket shaping delay", link=self.name,
                 ).inc(throttle_wait)
+            if impair_wait > 0.0:
+                metrics.counter(
+                    "netsim_link_impairment_seconds_total",
+                    "Injected loss-recovery/jitter/flap delay",
+                    link=self.name,
+                ).inc(impair_wait)
         self.loop.schedule_at(arrival, lambda p=packet: self._arrive(p))
 
     def _arrive(self, packet: Packet) -> None:

@@ -10,8 +10,11 @@ less than RTMP on the same broadcast glitches.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+from typing import Callable, Dict, List, Optional
 
+from repro import obs
+from repro.faults.retry import HLS_TRANSPORT_RETRY, RetryPolicy
 from repro.media.segmenter import HlsSegment
 from repro.netsim.events import EventLoop
 from repro.player.buffer import PlaybackReport, PlayoutBuffer
@@ -21,7 +24,8 @@ from repro.protocols.http import HttpClient, HttpRequest, HttpResponse, HttpStat
 #: Playback starts as soon as the first fetched segment is buffered.
 HLS_START_THRESHOLD_S = 0.2
 HLS_REBUFFER_THRESHOLD_S = 0.5
-#: Delay before re-requesting a playlist that had nothing new.
+#: Delay before re-requesting a playlist that had nothing new (the
+#: normal live polling cadence; *failed* fetches walk the retry policy).
 PLAYLIST_RETRY_S = 1.0
 
 
@@ -43,12 +47,20 @@ class HlsPlayer:
         session_start: float = 0.0,
         capture_clock_error_s: float = 0.0,
         vod: bool = False,
+        transport_retry: RetryPolicy = HLS_TRANSPORT_RETRY,
+        retry_rng: Optional[random.Random] = None,
     ) -> None:
         self.loop = loop
         self.playlist_client = playlist_client
         self.segment_client = segment_client
         self.playlist_path = playlist_path
         self.capture_clock_error_s = capture_clock_error_s
+        #: Retry policy for *failed* playlist/segment fetches.  The
+        #: default reproduces the historical fixed 1 s re-poll with a
+        #: budget no 60 s watch can exhaust; fault plans swap in a
+        #: bounded exponential policy with seeded jitter.
+        self.transport_retry = transport_retry
+        self._retry_rng = retry_rng
         #: Replay ("not live") sessions start from the first segment of an
         #: ended playlist instead of joining at the live edge.
         self.vod = vod
@@ -64,6 +76,9 @@ class HlsPlayer:
         self.delivery_latency_samples: List[float] = []
         self.playlist_fetches = 0
         self.stale_playlists = 0
+        self.transport_retries = 0
+        self.gave_up = False
+        self._consecutive_errors = 0
         self._known_entries: Dict[int, PlaylistEntry] = {}
         self._next_sequence: Optional[int] = None
         self._fetching_segment = False
@@ -84,6 +99,31 @@ class HlsPlayer:
     def stop(self) -> None:
         self.stopped = True
 
+    # ------------------------------------------------------------ resilience
+
+    def _transport_error(self, action: Callable[[], None]) -> None:
+        """A fetch failed: back off per policy, or degrade gracefully.
+
+        Giving up stops fetching; the playout buffer drains and the rest
+        of the watch is accounted as stall time — a QoE event, not a
+        crash.
+        """
+        self._consecutive_errors += 1
+        delay = self.transport_retry.delay_for(
+            self._consecutive_errors, self._retry_rng
+        )
+        if delay is None:
+            self.gave_up = True
+            return
+        self.transport_retries += 1
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            telemetry.metrics.counter(
+                "retries_total", "Client retry attempts",
+                kind="hls-transport",
+            ).inc()
+        self.loop.schedule(delay, action)
+
     # -------------------------------------------------------------- playlist
 
     def _request_playlist(self) -> None:
@@ -100,8 +140,9 @@ class HlsPlayer:
         if response.status != HttpStatus.OK or not isinstance(
             response.payload, MediaPlaylist
         ):
-            self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
+            self._transport_error(self._request_playlist)
             return
+        self._consecutive_errors = 0
         playlist = response.payload
         new_entries = 0
         for entry in playlist.entries:
@@ -152,8 +193,9 @@ class HlsPlayer:
         ):
             # Segment aged out before we fetched it; rejoin at the edge.
             self._next_sequence = None
-            self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
+            self._transport_error(self._request_playlist)
             return
+        self._consecutive_errors = 0
         segment = response.payload
         self.segments_fetched.append(segment)
         self._next_sequence = sequence + 1

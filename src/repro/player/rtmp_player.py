@@ -9,8 +9,11 @@ broadcaster uplink glitches that HLS's segment-sized buffer absorbs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import random
+from typing import Callable, List, Optional, Union
 
+from repro import obs
+from repro.faults.retry import RetryPolicy, RetrySchedule
 from repro.media.frames import AudioFrame, EncodedFrame
 from repro.netsim.connection import Message
 from repro.netsim.events import EventLoop
@@ -49,6 +52,11 @@ class RtmpPlayer:
         self.video_frames: List[EncodedFrame] = []
         self.delivery_latency_samples: List[float] = []
         self._display_fps_factor = 1.0
+        #: Reconnect bookkeeping (ingest outages; see begin_reconnect).
+        self.disconnects = 0
+        self.reconnects = 0
+        self.reconnect_attempts = 0
+        self.reconnect_gave_up = False
 
     def set_display_fps_factor(self, factor: float) -> None:
         """Device decode capability: fraction of received frames the
@@ -76,6 +84,63 @@ class RtmpPlayer:
             observed = now + self.capture_clock_error_s
             self.delivery_latency_samples.append(observed - frame.ntp_timestamp)
         self.buffer.on_media(frame.pts + NOMINAL_FRAME_S)
+
+    # ------------------------------------------------------------ resilience
+
+    def begin_reconnect(
+        self,
+        policy: RetryPolicy,
+        probe: Callable[[float], bool],
+        on_restored: Callable[[float], None],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """The stream disconnected (ingest outage): walk the retry policy.
+
+        ``probe(now)`` models one reconnect attempt — True when a server
+        (recovered primary or a failover region) accepts the connection.
+        On success ``on_restored(now)`` fires; when the budget runs out
+        the player gives up and playback degrades to a stall for the
+        rest of the watch instead of crashing.
+        """
+        self.disconnects += 1
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.metrics_on:
+            telemetry.metrics.counter(
+                "faults_injected_total",
+                "Fault events injected across layers",
+                kind="rtmp-disconnect",
+            ).inc()
+        schedule = RetrySchedule(policy, rng=rng, started_at=self.loop.now)
+
+        def attempt() -> None:
+            now = self.loop.now
+            self.reconnect_attempts += 1
+            tel = obs.active()
+            if tel.enabled and tel.metrics_on:
+                tel.metrics.counter(
+                    "retries_total", "Client retry attempts",
+                    kind="rtmp-reconnect",
+                ).inc()
+            if probe(now):
+                self.reconnects += 1
+                if tel.enabled and tel.metrics_on:
+                    tel.metrics.counter(
+                        "reconnects_total", "Successful stream reconnects",
+                        protocol="rtmp",
+                    ).inc()
+                on_restored(now)
+                return
+            delay = schedule.next_delay(now)
+            if delay is None:
+                self.reconnect_gave_up = True
+                return
+            self.loop.schedule(delay, attempt)
+
+        first = schedule.next_delay(self.loop.now)
+        if first is None:
+            self.reconnect_gave_up = True
+            return
+        self.loop.schedule(first, attempt)
 
     # ------------------------------------------------------------- reporting
 

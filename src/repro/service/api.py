@@ -103,6 +103,7 @@ class ApiServer:
         rng: random.Random,
         rate_limiter: Optional[RateLimiter] = None,
         hls_threshold: float = DEFAULT_HLS_VIEWER_THRESHOLD,
+        error_injector: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.world = world
         self.ingest = ingest
@@ -110,8 +111,13 @@ class ApiServer:
         self._rng = rng
         self.rate_limiter = rate_limiter or RateLimiter()
         self.hls_threshold = hls_threshold
+        #: Fault hook: when it returns True the request is answered with
+        #: an injected 503 (see :class:`repro.faults.plan.ApiErrorInjector`).
+        #: Draws from its own stream, so ``None`` changes nothing.
+        self.error_injector = error_injector
         self.playback_metas: List[PlaybackMetaRecord] = []
         self.requests_handled = 0
+        self.errors_injected = 0
 
     # ------------------------------------------------------------- dispatch
 
@@ -133,6 +139,18 @@ class ApiServer:
                 ).inc()
             return HttpResponse(
                 HttpStatus.TOO_MANY_REQUESTS, json_body={"error": "Too many requests"}
+            )
+        if self.error_injector is not None and self.error_injector():
+            self.errors_injected += 1
+            if metrics_on:
+                telemetry.metrics.counter(
+                    "faults_injected_total",
+                    "Fault events injected across layers",
+                    kind="api-5xx", command=str(command),
+                ).inc()
+            return HttpResponse(
+                HttpStatus.SERVICE_UNAVAILABLE,
+                json_body={"error": "Service Unavailable"},
             )
         self.requests_handled += 1
         if metrics_on:

@@ -240,6 +240,12 @@ class RtmpDelivery:
         self.push = push
         self.driver = driver
         self.started = False
+        #: Ingest-outage state: while interrupted, arriving frames are
+        #: held and flushed on resume (the failover/recovered server has
+        #: the stream the broadcaster kept pushing).
+        self.interrupted = False
+        self.interruptions = 0
+        self._held: List[MediaFrame] = []
         driver.add_sink(self._on_ingest)
 
     def start(self) -> None:
@@ -247,6 +253,23 @@ class RtmpDelivery:
         backlog = self._keyframe_rewind(self.driver.history)
         for frame in backlog:
             self.push.push_frame(frame)
+
+    def interrupt(self) -> None:
+        """The ingest server went down: stop pushing to the viewer."""
+        if self.interrupted:
+            return
+        self.interrupted = True
+        self.interruptions += 1
+
+    def resume(self) -> None:
+        """The client reconnected: flush frames held during the outage."""
+        if not self.interrupted:
+            return
+        self.interrupted = False
+        held, self._held = self._held, []
+        if self.started:
+            for frame in held:
+                self.push.push_frame(frame)
 
     @staticmethod
     def _keyframe_rewind(history: Sequence[Tuple[float, MediaFrame]]) -> List[MediaFrame]:
@@ -265,8 +288,12 @@ class RtmpDelivery:
         ]
 
     def _on_ingest(self, frame: MediaFrame, arrival: float) -> None:
-        if self.started:
-            self.push.push_frame(frame)
+        if not self.started:
+            return
+        if self.interrupted:
+            self._held.append(frame)
+            return
+        self.push.push_frame(frame)
 
 
 class HlsOrigin:
@@ -286,10 +313,17 @@ class HlsOrigin:
         window_size: int = 3,
         packaging_delay_s: Optional[float] = None,
         byte_fidelity: bool = False,
+        outage_windows: Sequence[Tuple[float, float]] = (),
     ) -> None:
         self.loop = loop
         self.driver = driver
         self.segmenter_target = target_segment_s
+        #: Ingest/packager outage windows: a segment whose publish time
+        #: lands inside one is published when the outage ends (viewers
+        #: see a stale playlist meanwhile — the HLS face of an ingest
+        #: fault).
+        self.outage_windows = sorted(outage_windows)
+        self.publishes_deferred = 0
         if packaging_delay_s is None:
             # Packaging/transcode time varies per backend placement and
             # stream; sampled once per broadcast.
@@ -333,6 +367,10 @@ class HlsOrigin:
 
     def _close_segment(self, segment: HlsSegment, completed_at: float, historical: bool) -> None:
         publish_at = completed_at + self.packaging_delay_s
+        for window_start, window_end in self.outage_windows:
+            if window_start <= publish_at < window_end:
+                publish_at = window_end
+                self.publishes_deferred += 1
         if historical and publish_at <= self.loop.now:
             self._publish(segment)
         else:

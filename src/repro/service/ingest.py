@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.service.geo import GeoPoint
 
@@ -88,10 +88,21 @@ class IngestPool:
                 )
             )
 
-    def nearest_to(self, location: GeoPoint) -> RtmpIngestServer:
+    def nearest_to(
+        self,
+        location: GeoPoint,
+        exclude_regions: FrozenSet[str] = frozenset(),
+    ) -> RtmpIngestServer:
         """The ingest server chosen at broadcast initialization: nearest
-        to the *broadcaster*."""
-        return min(self.servers, key=lambda s: s.location.distance_deg(location))
+        to the *broadcaster*.  ``exclude_regions`` supports regional
+        failover: during an ingest outage the re-resolved server comes
+        from the nearest healthy region instead."""
+        candidates = [
+            s for s in self.servers if s.region not in exclude_regions
+        ]
+        if not candidates:
+            raise ValueError("every ingest region is excluded")
+        return min(candidates, key=lambda s: s.location.distance_deg(location))
 
     def by_ip(self, ip: str) -> Optional[RtmpIngestServer]:
         for server in self.servers:

@@ -45,9 +45,13 @@ class Ecdf:
         lo = int(math.floor(pos))
         hi = min(lo + 1, n - 1)
         frac = pos - lo
-        value = self._sorted[lo] * (1.0 - frac) + self._sorted[hi] * frac
-        # Interpolation can drift past the extremes by a ULP; clamp.
-        return min(max(value, self._sorted[0]), self._sorted[-1])
+        lo_val = self._sorted[lo]
+        hi_val = self._sorted[hi]
+        # lo + frac * (hi - lo) rather than the two-product form: the
+        # latter underflows subnormal samples to 0.0, which breaks the
+        # quantile-ordering invariant.  Clamp the remaining ULP drift.
+        value = lo_val + frac * (hi_val - lo_val)
+        return min(max(value, lo_val), hi_val)
 
     @property
     def min(self) -> float:

@@ -39,6 +39,39 @@ def test_parallel_dataset_bit_identical_to_serial(serial_dataset, workers):
     assert parallel.shortfall == serial_dataset.shortfall
 
 
+FAULT_PLAN_SPEC = "loss=0.02,jitter=0.005,ingest=0.03:1:2,api5xx=0.1"
+
+
+def run_faulted_study(workers):
+    from repro.faults import FaultPlan
+
+    study = AutomatedViewingStudy(
+        StudyConfig(seed=SEED, faults=FaultPlan.parse(FAULT_PLAN_SPEC))
+    )
+    return study.run_batch(N_SESSIONS, workers=workers)
+
+
+@pytest.fixture(scope="module")
+def serial_faulted_dataset():
+    return run_faulted_study(workers=1)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_faulted_parallel_bit_identical_to_serial(serial_faulted_dataset, workers):
+    """Fault plans pickle into the workers and replay bit-identically:
+    fault randomness is per-session child streams, never shared state."""
+    parallel = run_faulted_study(workers=workers)
+    assert parallel.sessions == serial_faulted_dataset.sessions
+    assert parallel.avatar_bytes == serial_faulted_dataset.avatar_bytes
+    assert parallel.down_bytes == serial_faulted_dataset.down_bytes
+    assert parallel.shortfall == serial_faulted_dataset.shortfall
+    # The plan was live, not a no-op: fault bookkeeping reached the QoE.
+    assert any(
+        s.api_retries or s.transport_retries or s.disconnects or s.fault_events
+        for s in parallel.sessions
+    )
+
+
 def test_parallel_metrics_fold_into_parent():
     study = AutomatedViewingStudy(StudyConfig(seed=SEED))
     with obs.session(metrics=True, tracing=False, profiling=False) as telemetry:

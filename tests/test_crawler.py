@@ -69,6 +69,79 @@ class TestDeepCrawl:
             crawler.start()
 
 
+class TestBoundedRetry:
+    """Regression for the unbounded-429 bug: the old client rescheduled
+    itself after a constant 2 s forever, so a permanently failing service
+    meant an infinite retry loop.  The shared RetryPolicy bounds it."""
+
+    @staticmethod
+    def _client_against(handler):
+        from repro.netsim.duplex import DuplexStream
+        from repro.netsim.events import EventLoop
+        from repro.netsim.topology import Network
+        from repro.protocols.http import HttpClient, HttpServer
+
+        from repro.crawler.client import CrawlClient
+
+        loop = EventLoop()
+        net = Network(loop)
+        emulator, api_host = net.host("emulator"), net.host("api")
+        net.duplex(emulator, api_host, rate_bps=100e6, delay_s=0.040)
+        stream = DuplexStream(loop, net, "emulator", "api", name="crawler-0")
+        HttpServer(loop, stream, handler, client_label="crawler-0")
+        return loop, CrawlClient(loop, HttpClient(loop, stream), "crawler-0")
+
+    def test_permanent_429_terminates_with_bounded_attempts(self):
+        from repro.protocols.http import HttpResponse, HttpStatus
+
+        loop, client = self._client_against(
+            lambda request, identity: HttpResponse(HttpStatus.TOO_MANY_REQUESTS)
+        )
+        outcomes = []
+        client.call("mapGeoBroadcastFeed", {},
+                    lambda response, now: outcomes.append(response.status))
+        loop.run()  # must terminate — the old loop never did
+        assert client.gave_up == 1
+        assert client.requests_sent == 1 + client.retry.max_attempts
+        assert client.retries == client.retry.max_attempts
+        assert outcomes == [HttpStatus.TOO_MANY_REQUESTS]
+        assert client.throttled == client.requests_sent  # every try 429'd
+
+    def test_injected_503_also_walks_the_policy(self):
+        from repro.protocols.http import HttpResponse, HttpStatus
+
+        loop, client = self._client_against(
+            lambda request, identity: HttpResponse(HttpStatus.SERVICE_UNAVAILABLE)
+        )
+        outcomes = []
+        client.call("getBroadcasts", {"broadcast_ids": []},
+                    lambda response, now: outcomes.append(response.status))
+        loop.run()
+        assert client.gave_up == 1
+        assert client.throttled == 0  # 503 is not throttling
+        assert outcomes == [HttpStatus.SERVICE_UNAVAILABLE]
+
+    def test_transient_429_recovers_without_giving_up(self):
+        from repro.protocols.http import HttpResponse, HttpStatus
+
+        failures = {"left": 2}
+
+        def handler(request, identity):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                return HttpResponse(HttpStatus.TOO_MANY_REQUESTS)
+            return HttpResponse(HttpStatus.OK, json_body={"broadcasts": []})
+
+        loop, client = self._client_against(handler)
+        outcomes = []
+        client.call("mapGeoBroadcastFeed", {},
+                    lambda response, now: outcomes.append(response.status))
+        loop.run()
+        assert outcomes == [HttpStatus.OK]
+        assert client.gave_up == 0
+        assert client.throttled == 2
+
+
 class TestRateLimiting:
     def test_throttling_engages_and_crawl_recovers(self):
         harness = CrawlHarness(
