@@ -91,6 +91,12 @@ class StudyConfig:
     #: reordering events (guarded by a determinism regression test).
     metrics_enabled: bool = False
     tracing_enabled: bool = False
+    #: Stall forensics: per-cause delay attribution and online invariant
+    #: monitors (see :mod:`repro.obs.causes` / :mod:`repro.obs.health`).
+    #: Same contract as the other telemetry flags — opt-in, RNG-free,
+    #: bit-identical QoE on or off.
+    causes_enabled: bool = False
+    health_enabled: bool = False
 
     # ------------------------------------------------------------------ network
     #: Unshaped access bandwidth of the tethered phone (paper: >100 Mbps).

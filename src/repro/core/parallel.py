@@ -64,9 +64,16 @@ class SessionResult:
 #: Worker-process globals, installed once per worker by :func:`_worker_init`.
 _WORKER_INGEST: Optional[IngestPool] = None
 _WORKER_METRICS = False
+_WORKER_CAUSES = False
+_WORKER_HEALTH = False
 
 
-def _worker_init(study_seed: Seedable, metrics_enabled: bool) -> None:
+def _worker_init(
+    study_seed: Seedable,
+    metrics_enabled: bool,
+    causes_enabled: bool = False,
+    health_enabled: bool = False,
+) -> None:
     """Bootstrap one worker: rebuild the frozen ingest pool from the seed.
 
     ``IngestPool`` consumes its RNG entirely at construction and is
@@ -75,10 +82,12 @@ def _worker_init(study_seed: Seedable, metrics_enabled: bool) -> None:
     the parent study holds.  Any telemetry state inherited over fork is
     discarded — each chunk activates (and snapshots) its own registry.
     """
-    global _WORKER_INGEST, _WORKER_METRICS
+    global _WORKER_INGEST, _WORKER_METRICS, _WORKER_CAUSES, _WORKER_HEALTH
     obs.deactivate()
     _WORKER_INGEST = IngestPool(child_rng(study_seed, "ingest-pool"))
     _WORKER_METRICS = metrics_enabled
+    _WORKER_CAUSES = causes_enabled
+    _WORKER_HEALTH = health_enabled
 
 
 def _run_chunk(
@@ -86,17 +95,25 @@ def _run_chunk(
 ) -> Tuple[List[SessionResult], Optional[dict]]:
     """Run one contiguous chunk of prepared setups inside a worker.
 
-    Returns the per-session results in input order plus a metrics
-    snapshot covering exactly this chunk (``None`` when metrics are
-    off).  The registry is fresh per chunk so a worker that serves
-    several chunks never double-counts.
+    Returns the per-session results in input order plus a telemetry
+    snapshot covering exactly this chunk (``None`` when every surface is
+    off).  The snapshot maps surface name -> surface snapshot, with keys
+    only for enabled surfaces: ``{"metrics": ..., "causes": ...,
+    "health": ...}``.  Telemetry is fresh per chunk so a worker that
+    serves several chunks never double-counts.
     """
     if _WORKER_INGEST is None:
         raise RuntimeError("worker not initialized; dispatch via run_sessions")
     telemetry: Optional[obs.Telemetry] = None
-    if _WORKER_METRICS:
+    if _WORKER_METRICS or _WORKER_CAUSES or _WORKER_HEALTH:
         telemetry = obs.activate(
-            obs.Telemetry(metrics=True, tracing=False, profiling=False)
+            obs.Telemetry(
+                metrics=_WORKER_METRICS,
+                tracing=False,
+                profiling=False,
+                causes=_WORKER_CAUSES,
+                health=_WORKER_HEALTH,
+            )
         )
     try:
         results = [
@@ -110,7 +127,15 @@ def _run_chunk(
                 for setup in setups
             )
         ]
-        snapshot = telemetry.metrics.snapshot() if telemetry is not None else None
+        snapshot: Optional[dict] = None
+        if telemetry is not None:
+            snapshot = {}
+            if _WORKER_METRICS:
+                snapshot["metrics"] = telemetry.metrics.snapshot()
+            if _WORKER_CAUSES:
+                snapshot["causes"] = telemetry.causes.snapshot()
+            if _WORKER_HEALTH:
+                snapshot["health"] = telemetry.health.snapshot()
     finally:
         if telemetry is not None:
             obs.deactivate()
@@ -138,13 +163,17 @@ def run_sessions(
     study_seed: Seedable,
     workers: int,
     metrics_enabled: bool = False,
+    causes_enabled: bool = False,
+    health_enabled: bool = False,
 ) -> Tuple[List[SessionResult], List[dict]]:
     """Fan ``ViewingSession.run()`` out across ``workers`` processes.
 
     Results come back index-ordered (position ``i`` belongs to
     ``setups[i]``), and the returned snapshots are in chunk order, so
-    folding them into the parent registry is deterministic.  Worker
-    exceptions re-raise here, in the parent.
+    folding them into the parent registry is deterministic.  Cause
+    ledgers merge as per-context dict unions (each session's floats stay
+    together), which is why attribution reports are byte-identical for
+    every worker count.  Worker exceptions re-raise here, in the parent.
     """
     if workers < 2:
         raise ValueError("run_sessions needs at least two workers; "
@@ -155,7 +184,7 @@ def run_sessions(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(study_seed, metrics_enabled),
+        initargs=(study_seed, metrics_enabled, causes_enabled, health_enabled),
     ) as pool:
         futures = [
             (start, pool.submit(_run_chunk, list(setups[start:stop])))

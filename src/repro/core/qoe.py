@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.player.buffer import StallEvent  # noqa: F401  (re-exported API)
 
@@ -72,6 +72,11 @@ class SessionQoE:
     transport_retries: int = 0
     disconnects: int = 0
     reconnects: int = 0
+
+    #: Join-delay seconds per upstream cause; populated (like
+    #: ``StallEvent.causes``) only when cause attribution is enabled, so
+    #: the dataset stays bit-identical with attribution off.
+    join_causes: Optional[Dict[str, float]] = None
 
     @property
     def stall_count(self) -> int:

@@ -136,6 +136,19 @@ class ViewingSession:
         loop = self.loop
         tb = self.testbed
         telemetry = obs.active()
+        if telemetry.enabled and telemetry.causes_on:
+            # Scope the attribution ledger to this session.  The key is
+            # derived from the setup (never from execution order), so a
+            # parallel run's per-context buckets merge back into exactly
+            # the serial ledger.
+            plan_key = (setup.faults.describe()
+                        if setup.faults is not None else "none")
+            telemetry.causes.set_context(
+                f"{setup.broadcast.broadcast_id}"
+                f":{setup.seed}"
+                f":{setup.bandwidth_limit_mbps:g}"
+                f":{plan_key}"
+            )
         session_span = None
         if telemetry.enabled and telemetry.tracing_on:
             session_span = telemetry.tracer.begin(
@@ -227,6 +240,8 @@ class ViewingSession:
                             "retries_total", "Client retry attempts",
                             kind="session-api",
                         ).inc()
+                    if tel.enabled and tel.causes_on:
+                        tel.causes.add("api.retry_backoff", delay)
                     loop.schedule(delay, send)
                     return
                 on_ok(response, now)
@@ -429,7 +444,12 @@ class ViewingSession:
         def probe(now: float) -> bool:
             return failover_ok or now >= window_end
 
+        outage_began = self.loop.now
+
         def on_restored(now: float) -> None:
+            tel = obs.active()
+            if tel.enabled and tel.causes_on:
+                tel.causes.add("service.outage", now - outage_began)
             delivery.resume()
 
         self._player.begin_reconnect(plan.retry, probe, on_restored, rng=rng)
@@ -582,7 +602,7 @@ class ViewingSession:
             player, "reconnect_gave_up", False
         ):
             fault_events.append("player-gave-up")
-        return SessionQoE(
+        qoe = SessionQoE(
             broadcast_id=self.setup.broadcast.broadcast_id,
             protocol=self.setup.protocol.value,
             device=self.setup.device.name,
@@ -602,4 +622,32 @@ class ViewingSession:
             transport_retries=getattr(player, "transport_retries", 0),
             disconnects=getattr(player, "disconnects", 0),
             reconnects=getattr(player, "reconnects", 0),
+            join_causes=getattr(report, "join_causes", None),
         )
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.health_on:
+            health = telemetry.health
+            health.check(
+                "qoe.consistent", qoe.consistent(),
+                f"{qoe.broadcast_id}: join {qoe.join_time_s:.3f} + "
+                f"playback {qoe.playback_s:.3f} + stall "
+                f"{qoe.total_stall_s:.3f} != watch {qoe.watch_seconds:.3f}",
+            )
+            plan = self.setup.faults
+            if plan is not None:
+                # Three API calls per session, each bounded by the
+                # shared retry budget (the test_properties bound).
+                budget = 3 * plan.retry.max_attempts
+                health.check(
+                    "session.retries_bounded",
+                    qoe.api_retries <= budget,
+                    f"{qoe.broadcast_id}: {qoe.api_retries} API retries "
+                    f"over budget {budget}",
+                )
+            else:
+                health.check(
+                    "session.retries_bounded", qoe.api_retries == 0,
+                    f"{qoe.broadcast_id}: {qoe.api_retries} API retries "
+                    f"without a fault plan",
+                )
+        return qoe

@@ -73,7 +73,9 @@ class AutomatedViewingStudy:
     def __init__(self, config: StudyConfig) -> None:
         self.config = config
         obs.ensure_active(metrics=config.metrics_enabled,
-                          tracing=config.tracing_enabled)
+                          tracing=config.tracing_enabled,
+                          causes=config.causes_enabled,
+                          health=config.health_enabled)
         self.world = ServiceWorld(
             WorldParameters(mean_concurrent=config.scaled(config.concurrent_broadcasts,
                                                           minimum=600)),
@@ -206,9 +208,16 @@ class AutomatedViewingStudy:
                 study_seed=self.config.seed,
                 workers=workers,
                 metrics_enabled=metrics_on,
+                causes_enabled=telemetry.enabled and telemetry.causes_on,
+                health_enabled=telemetry.enabled and telemetry.health_on,
             )
             for snapshot in snapshots:
-                telemetry.metrics.merge_from(snapshot)
+                if snapshot.get("metrics") is not None:
+                    telemetry.metrics.merge_from(snapshot["metrics"])
+                if snapshot.get("causes") is not None:
+                    telemetry.causes.merge_from(snapshot["causes"])
+                if snapshot.get("health") is not None:
+                    telemetry.health.merge_from(snapshot["health"])
             for result in results:
                 dataset.sessions.append(result.qoe)
                 dataset.avatar_bytes.append(result.avatar_bytes)

@@ -18,8 +18,17 @@ Telemetry (see :mod:`repro.obs`) is opt-in::
 ``--metrics`` enables the metrics registry and the event-loop profiler
 and writes a Prometheus-style text dump plus an ASCII summary at exit;
 ``--trace-out`` enables sim-time tracing spans and writes them as JSONL.
-Figures are also accepted under their module names (``fig3_stalls``,
-``sec5_ttests``, ...).
+
+Stall forensics (see :mod:`repro.obs.causes`) rides the same pattern::
+
+    python -m repro.experiments fig3loss --faults loss=ge:0.02:0.3:0.5 \\
+        --explain - --health -
+
+``--explain`` enables causal delay attribution and writes the ASCII
+attribution report (``--explain-jsonl`` writes the per-window records as
+JSONL); ``--health`` enables the online invariant monitors and writes
+their report.  Figures are also accepted under their module names
+(``fig3_stalls``, ``sec5_ttests``, ...).
 """
 
 from __future__ import annotations
@@ -45,7 +54,14 @@ from repro.experiments import (
     table1_api,
 )
 from repro.experiments.common import Workbench
-from repro.obs.export import render_prometheus, render_summary, write_trace_jsonl
+from repro.obs.export import (
+    attribution_jsonl,
+    render_attribution,
+    render_health,
+    render_prometheus,
+    render_summary,
+    write_trace_jsonl,
+)
 
 #: name -> (needs_workbench, runner)
 DRIVERS: Dict[str, tuple] = {
@@ -122,6 +138,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable sim-time tracing; write spans as JSONL to PATH "
              "('-' for stdout) at exit",
     )
+    parser.add_argument(
+        "--explain", metavar="PATH", nargs="?", const="-", default=None,
+        help="enable stall forensics (causal delay attribution); write "
+             "the ASCII attribution report to PATH (default '-', stdout) "
+             "at exit",
+    )
+    parser.add_argument(
+        "--explain-jsonl", metavar="PATH", default=None,
+        help="also write per-window attribution records as JSONL to PATH "
+             "('-' for stdout); implies --explain's instrumentation",
+    )
+    parser.add_argument(
+        "--health", metavar="PATH", nargs="?", const="-", default=None,
+        help="enable online invariant monitors; write the study-health "
+             "report to PATH (default '-', stdout) at exit",
+    )
     return parser
 
 
@@ -143,12 +175,17 @@ def main(argv: Optional[list] = None) -> int:
         for name in sorted(DRIVERS):
             print(name)
         return 0
+    causes_on = args.explain is not None or args.explain_jsonl is not None
+    health_on = args.health is not None
     telemetry: Optional[obs.Telemetry] = None
-    if args.metrics is not None or args.trace_out is not None:
+    if (args.metrics is not None or args.trace_out is not None
+            or causes_on or health_on):
         telemetry = obs.activate(obs.Telemetry(
             metrics=args.metrics is not None,
             tracing=args.trace_out is not None,
             profiling=args.metrics is not None,
+            causes=causes_on,
+            health=health_on,
         ))
     try:
         from repro.faults.plan import FaultPlan
@@ -162,6 +199,8 @@ def main(argv: Optional[list] = None) -> int:
             sweep_sessions_per_limit=args.per_limit,
             metrics=args.metrics is not None,
             tracing=args.trace_out is not None,
+            causes=causes_on,
+            health=health_on,
             workers=args.workers,
             faults=faults,
         )
@@ -185,6 +224,20 @@ def main(argv: Optional[list] = None) -> int:
                 _write_output(args.metrics, render_prometheus(telemetry))
                 print()
                 print(render_summary(telemetry))
+            if args.explain is not None:
+                _write_output(args.explain, render_attribution(telemetry))
+                if args.explain != "-":
+                    print(f"attribution report -> {args.explain}")
+            if args.explain_jsonl is not None:
+                _write_output(args.explain_jsonl, attribution_jsonl(telemetry))
+                if args.explain_jsonl != "-":
+                    records = len(telemetry.causes.records)
+                    print(f"attribution: {records} windows -> "
+                          f"{args.explain_jsonl}")
+            if args.health is not None:
+                _write_output(args.health, render_health(telemetry))
+                if args.health != "-":
+                    print(f"health report -> {args.health}")
     finally:
         if telemetry is not None:
             obs.deactivate()

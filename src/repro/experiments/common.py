@@ -35,15 +35,20 @@ class Workbench:
         targeted_duration_s: float = 2400.0,
         metrics: bool = False,
         tracing: bool = False,
+        causes: bool = False,
+        health: bool = False,
         workers: int = 1,
         faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = StudyConfig(seed=seed, metrics_enabled=metrics,
-                                  tracing_enabled=tracing, workers=workers,
-                                  faults=faults)
+                                  tracing_enabled=tracing,
+                                  causes_enabled=causes,
+                                  health_enabled=health,
+                                  workers=workers, faults=faults)
         #: Activate telemetry up front so loops built by crawls (which do
         #: not go through AutomatedViewingStudy) are profiled too.
-        self.telemetry = obs.ensure_active(metrics=metrics, tracing=tracing)
+        self.telemetry = obs.ensure_active(metrics=metrics, tracing=tracing,
+                                           causes=causes, health=health)
         self.seed = seed
         self.unlimited_sessions = unlimited_sessions
         self.sweep_sessions_per_limit = sweep_sessions_per_limit

@@ -65,6 +65,22 @@ class Fig3LossResult:
         return "\n".join(parts)
 
 
+def _plan_for_rate(template: FaultPlan, rate: float) -> FaultPlan:
+    """Dose ``template``'s loss model at ``rate``, keeping everything else.
+
+    A Bernoulli template (or one without a loss spec) sweeps the i.i.d.
+    per-packet ``rate``; a Gilbert-Elliott template sweeps the
+    good-to-bad transition probability, so the burstiness shape from the
+    CLI ``--faults`` spec is preserved while the dose varies.
+    """
+    loss = template.loss or LossSpec()
+    if loss.model == "gilbert":
+        loss = dataclasses.replace(loss, p_good_to_bad=rate)
+    else:
+        loss = dataclasses.replace(loss, rate=rate)
+    return dataclasses.replace(template, loss=loss)
+
+
 def run(
     workbench: Workbench,
     loss_rates: Sequence[float] = LOSS_RATES,
@@ -73,13 +89,23 @@ def run(
     """Run the forced-RTMP loss sweep off the workbench's seed/scale.
 
     A fresh study is built per rate so every rate replays the same world
-    evolution and teleport choices; only the fault plan differs.
+    evolution and teleport choices; only the fault plan differs.  When
+    the workbench carries a fault plan (CLI ``--faults``), it is the
+    sweep's template: its loss model shape (e.g. Gilbert-Elliott
+    burstiness) and non-loss faults apply at every rate, with only the
+    loss dose swept.  Rate 0.0 always runs the pristine baseline.
     """
     n = sessions_per_rate or workbench.sweep_sessions_per_limit
+    template = workbench.config.faults
     stall_counts: Dict[float, List[int]] = {}
     stall_ratios: Dict[float, List[float]] = {}
     for rate in loss_rates:
-        faults = None if rate <= 0.0 else FaultPlan(loss=LossSpec(rate=rate))
+        if rate <= 0.0:
+            faults = None
+        elif template is not None:
+            faults = _plan_for_rate(template, rate)
+        else:
+            faults = FaultPlan(loss=LossSpec(rate=rate))
         config = dataclasses.replace(workbench.config, faults=faults)
         study = AutomatedViewingStudy(config)
         dataset = study.run_batch(

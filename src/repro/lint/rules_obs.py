@@ -12,9 +12,15 @@ metric families.
   ``repro.netsim.events`` specifically (even lazily): telemetry must
   never consume experiment RNG or schedule simulation events.
 * **O203** — an instrumentation call site in a simulation package uses
-  ``obs.active().metrics``/``tracer``/``profiler`` without the guard
-  pattern (bind the telemetry handle, test ``.enabled`` /
-  ``.metrics_on`` / ``.tracing_on`` before touching registries).
+  ``obs.active().metrics``/``tracer``/``profiler``/``causes``/``health``
+  without the guard pattern (bind the telemetry handle, test
+  ``.enabled`` / ``.metrics_on`` / ``.tracing_on`` before touching
+  registries).
+* **O204** — a cause-emission site (``<telemetry>.causes.add(...)``) in
+  a simulation package passes a first argument that is not a string
+  literal from the :data:`repro.obs.causes.CAUSE_HELP` taxonomy.
+  Dynamic or off-taxonomy tags would fracture attribution reports and
+  dashboards into unmergeable series.
 """
 
 from __future__ import annotations
@@ -26,9 +32,11 @@ from repro.lint.findings import Finding
 from repro.lint.layers import OBS_ALLOWED_TARGETS, OBS_FORBIDDEN_MODULES, SIM_PACKAGES
 from repro.lint.modinfo import ModuleInfo
 from repro.lint.registry import FileRule, register
+from repro.obs.causes import CAUSE_HELP
 
-_TELEMETRY_SURFACES = ("metrics", "tracer", "profiler")
-_GUARD_FLAGS = ("enabled", "metrics_on", "tracing_on", "profiling_on")
+_TELEMETRY_SURFACES = ("metrics", "tracer", "profiler", "causes", "health")
+_GUARD_FLAGS = ("enabled", "metrics_on", "tracing_on", "profiling_on",
+                "causes_on", "health_on")
 
 
 @register
@@ -184,3 +192,58 @@ class UnguardedInstrumentationRule(FileRule):
         visitor.scan(module.tree)
         for line, col, message in visitor.findings:
             yield self.finding(module, line, col, message)
+
+
+def _is_causes_attribute(node: ast.expr, aliases: Set[str]) -> bool:
+    """Match ``<expr>.causes`` or a name previously bound to one."""
+    if isinstance(node, ast.Attribute) and node.attr == "causes":
+        return True
+    return isinstance(node, ast.Name) and node.id in aliases
+
+
+@register
+class CauseTaxonomyRule(FileRule):
+    id = "O204"
+    name = "cause-emission-taxonomy"
+    description = (
+        "cause-emission sites in simulation packages must tag delay with "
+        "a string literal from the repro.obs.causes.CAUSE_HELP taxonomy "
+        "so attribution reports stay mergeable across runs and layers"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_repro or module.package not in SIM_PACKAGES:
+            return
+        # Names bound to a cause collector (``causes = telemetry.causes``)
+        # anywhere in the module; collector handles are short-lived
+        # locals, so a module-wide alias set stays precise enough.
+        aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "causes"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add"
+                    and _is_causes_attribute(node.func.value, aliases)):
+                continue
+            if not node.args:
+                continue
+            tag = node.args[0]
+            if not (isinstance(tag, ast.Constant) and isinstance(tag.value, str)):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "cause tag must be a string literal (dynamic tags "
+                    "fracture the attribution taxonomy)",
+                )
+            elif tag.value not in CAUSE_HELP:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"cause tag {tag.value!r} is not in the "
+                    f"repro.obs.causes.CAUSE_HELP taxonomy; add it there "
+                    f"(with help text) or use an existing tag",
+                )

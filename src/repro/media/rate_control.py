@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+
 #: Reference QP at which an average-complexity frame costs ``base_bits``.
 QP_REF = 30.0
 #: H.264 QP range.
@@ -114,4 +116,10 @@ class RateController:
         step = self.reaction * error_seconds * 6.0
         step = min(max(step, -self.max_qp_step), self.max_qp_step)
         self._qp = min(max(self._qp + step, QP_MIN), QP_MAX)
+        if self._qp >= QP_MAX:
+            # The controller is pinned at its quality floor: this frame's
+            # worth of time is starved by an unreachable target bitrate.
+            telemetry = obs.active()
+            if telemetry.enabled and telemetry.causes_on:
+                telemetry.causes.add("media.rate_starvation", 1.0 / self.fps)
         return bits

@@ -59,6 +59,17 @@ class Link:
         #: Total serialization time ever scheduled (including the tail of
         #: packets still queued or on the wire).
         self._busy_time_scheduled = 0.0
+        #: Loss-recovery time still occupying the busy horizon: queue
+        #: wait behind it is HOL blocking caused by retransmissions, and
+        #: attribution charges it to loss recovery, not the queue.
+        self._recovery_backlog_s = 0.0
+        #: Wall-clock frontier up to which queue waiting has been charged
+        #: to attribution.  Per-packet waits overlap (every queued packet
+        #: waits through the same busy interval), so attribution charges
+        #: the *union* of waiting intervals — the wall-clock seconds some
+        #: packet was queued — which is the delay the frontier packet,
+        #: and hence the player, actually experiences.
+        self._queue_charged_until = 0.0
         self._taps: List[PacketTap] = []
         self.bytes_carried = 0
         self.packets_carried = 0
@@ -92,16 +103,35 @@ class Link:
         for observer in self._taps:
             observer(packet, now)
         queue_wait = max(0.0, self._busy_until - now)
+        queue_charge = max(
+            0.0, self._busy_until - max(now, self._queue_charged_until)
+        )
+        if queue_wait > 0.0:
+            self._queue_charged_until = max(
+                self._queue_charged_until, self._busy_until
+            )
         start = max(now, self._busy_until)
         if self.shaper is not None:
             start = max(start, self.shaper.earliest_start(packet.wire_bytes, start))
             self.shaper.consume(packet.wire_bytes, start)
         throttle_wait = start - max(now, self._busy_until)
         tx_time = packet.wire_bytes * 8.0 / self.rate_bps
+        telemetry = obs.active()
+        causes_on = telemetry.enabled and telemetry.causes_on
         impair_wait = 0.0
+        flap_wait = jitter_wait = recovery_wait = 0.0
         if self.impairment is not None:
-            impaired_start, recovery = self.impairment.apply(start, tx_time)
+            impairment = self.impairment
+            if causes_on:
+                flap_before = impairment.flap_defer_s
+                jitter_before = impairment.jitter_added_s
+                recovery_before = impairment.recovery_added_s
+            impaired_start, recovery = impairment.apply(start, tx_time)
             impair_wait = (impaired_start - start) + recovery
+            if causes_on:
+                flap_wait = impairment.flap_defer_s - flap_before
+                jitter_wait = impairment.jitter_added_s - jitter_before
+                recovery_wait = impairment.recovery_added_s - recovery_before
             start = impaired_start
             tx_time += recovery
         self._busy_until = start + tx_time
@@ -109,7 +139,30 @@ class Link:
         self.bytes_carried += packet.wire_bytes
         self.packets_carried += 1
         arrival = self._busy_until + self.delay_s
-        telemetry = obs.active()
+        if causes_on:
+            causes = telemetry.causes
+            recovered_share = min(queue_charge, self._recovery_backlog_s)
+            if recovered_share > 0.0:
+                self._recovery_backlog_s -= recovered_share
+                causes.add("link.loss_recovery", recovered_share)
+            if queue_charge > recovered_share:
+                causes.add("link.queue", queue_charge - recovered_share)
+            if throttle_wait > 0.0:
+                causes.add("link.throttle", throttle_wait)
+            if flap_wait > 0.0:
+                causes.add("link.flap", flap_wait)
+            if jitter_wait > 0.0:
+                causes.add("link.jitter", jitter_wait)
+            if recovery_wait > 0.0:
+                causes.add("link.loss_recovery", recovery_wait)
+                self._recovery_backlog_s += recovery_wait
+        if telemetry.enabled and telemetry.health_on and now > 0.0:
+            pending = max(0.0, self._busy_until - now)
+            completed = self._busy_time_scheduled - pending
+            telemetry.health.check(
+                "link.utilization_bounded", completed <= now + 1e-9,
+                f"{self.name}: {completed:.3f}s busy in {now:.3f}s elapsed",
+            )
         if telemetry.enabled and telemetry.metrics_on:
             metrics = telemetry.metrics
             metrics.counter(

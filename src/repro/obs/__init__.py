@@ -1,13 +1,17 @@
 """``repro.obs`` — simulation-wide telemetry.
 
-One :class:`Telemetry` object bundles the three instruments:
+One :class:`Telemetry` object bundles the instruments:
 
 * :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters,
   gauges, and streaming histograms;
 * :class:`~repro.obs.tracing.Tracer` — nested sim-time spans with
   wall-clock cost, exported as JSONL;
 * :class:`~repro.obs.profiler.EventLoopProfiler` — per-callback-site
-  event counts and wall-time attribution across every event loop.
+  event counts and wall-time attribution across every event loop;
+* :class:`~repro.obs.causes.CauseCollector` — causal attribution of
+  QoE-affecting delay (stall forensics);
+* :class:`~repro.obs.health.HealthMonitor` — online invariant checks
+  counted into ``health_violations_total``.
 
 Instrumented code asks for the *active* telemetry and bails out on one
 attribute check when it is disabled::
@@ -31,6 +35,8 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
+from repro.obs.causes import AttributionRecord, CAUSES, CauseCollector
+from repro.obs.health import HealthMonitor
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -44,6 +50,7 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
     "EventLoopProfiler", "callback_site", "Span", "Tracer",
+    "AttributionRecord", "CAUSES", "CauseCollector", "HealthMonitor",
     "Telemetry", "active", "activate", "deactivate", "ensure_active",
     "session",
 ]
@@ -57,14 +64,20 @@ class Telemetry:
         metrics: bool = True,
         tracing: bool = True,
         profiling: bool = True,
+        causes: bool = False,
+        health: bool = False,
     ) -> None:
         self.enabled = True
         self.metrics_on = metrics
         self.tracing_on = tracing
         self.profiling_on = profiling
+        self.causes_on = causes
+        self.health_on = health
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.profiler = EventLoopProfiler()
+        self.causes = CauseCollector()
+        self.health = HealthMonitor()
         if metrics:
             self._declare_core_series()
 
@@ -131,19 +144,23 @@ def ensure_active(
     metrics: bool = False,
     tracing: bool = False,
     profiling: Optional[bool] = None,
+    causes: bool = False,
+    health: bool = False,
 ) -> Telemetry:
     """Activate telemetry if any flag asks for it and none is active yet.
 
     This is how :class:`~repro.core.config.StudyConfig` opt-in flags take
     effect without every constructor threading a telemetry handle.
     """
-    if not (metrics or tracing):
+    if not (metrics or tracing or causes or health):
         return _active
     if not _active.enabled:
         activate(Telemetry(
             metrics=metrics,
             tracing=tracing,
             profiling=metrics if profiling is None else profiling,
+            causes=causes,
+            health=health,
         ))
     return _active
 
@@ -153,10 +170,13 @@ def session(
     metrics: bool = True,
     tracing: bool = True,
     profiling: bool = True,
+    causes: bool = False,
+    health: bool = False,
 ) -> Iterator[Telemetry]:
     """Scoped activation: install a fresh telemetry, restore on exit."""
     previous = _active
-    telemetry = Telemetry(metrics=metrics, tracing=tracing, profiling=profiling)
+    telemetry = Telemetry(metrics=metrics, tracing=tracing,
+                          profiling=profiling, causes=causes, health=health)
     activate(telemetry)
     try:
         yield telemetry

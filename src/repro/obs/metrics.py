@@ -117,6 +117,18 @@ class Histogram:
         """True while quantiles are computed from the raw values."""
         return self._values is not None
 
+    @property
+    def values_dropped(self) -> int:
+        """Raw samples unavailable for exact quantiles.
+
+        Zero while under the value cap; once the cap is exceeded the
+        retained samples are discarded and every observation is
+        bucket-only, so the full count reads as dropped — exporters
+        surface this so truncated telemetry is never mistaken for
+        complete telemetry.
+        """
+        return 0 if self._values is not None else self.count
+
     def quantile(self, q: float) -> Optional[float]:
         """Nearest-rank quantile (exact) or bucket-interpolated estimate."""
         if not 0.0 <= q <= 1.0:

@@ -15,7 +15,7 @@ the session value is the time-weighted mean over playing intervals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.netsim.events import Event, EventLoop
@@ -27,10 +27,16 @@ class StallEvent:
 
     Defined here — the player layer is what observes stalls — and
     re-exported by :mod:`repro.core.qoe` for the dataset API.
+
+    ``causes`` is populated only when cause attribution is enabled
+    (``--explain``): seconds per upstream cause, clamped so they sum to
+    at most ``duration``.  ``None`` otherwise, so QoE stays bit-identical
+    with attribution off.
     """
 
     start: float
     duration: float
+    causes: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -42,6 +48,8 @@ class PlaybackReport:
     playback_s: float
     stalls: List[StallEvent]
     mean_playback_latency_s: Optional[float]
+    #: Per-cause seconds for the join wait (attribution opt-in only).
+    join_causes: Optional[Dict[str, float]] = None
 
     @property
     def stall_count(self) -> int:
@@ -83,6 +91,19 @@ class PlayoutBuffer:
         #: (duration, latency) per completed playing interval.
         self._intervals: List[Tuple[float, float]] = []
         self._finalized = False
+        #: Cause-ledger snapshots bounding the join and current-stall
+        #: attribution windows (None unless attribution is enabled).
+        self._causes_join_base: Optional[Dict[str, float]] = None
+        self._causes_stall_base: Optional[Dict[str, float]] = None
+        self.join_causes: Optional[Dict[str, float]] = None
+        telemetry = obs.active()
+        if telemetry.enabled and telemetry.causes_on:
+            # The session's ledger bucket starts empty at session start
+            # (contexts are per-session), so the join window's base is
+            # the empty snapshot — it must include delays accrued before
+            # the buffer exists (API retries, packaging of the first
+            # segments), not just post-construction ones.
+            self._causes_join_base = {}
 
     # ------------------------------------------------------------- ingestion
 
@@ -99,6 +120,12 @@ class PlayoutBuffer:
             return
         self._buffered_until = max(self._buffered_until, upto_pts)
         telemetry = obs.active()
+        if telemetry.enabled and telemetry.health_on and self._playing:
+            gap = self._buffered_until - self._playhead(self.loop.now)
+            telemetry.health.check(
+                "player.buffer_nonnegative", gap >= -1e-9,
+                f"frontier-playhead gap {gap:.6f}s at t={self.loop.now:.3f}",
+            )
         if telemetry.enabled and telemetry.metrics_on:
             telemetry.metrics.histogram(
                 "player_buffer_level_seconds",
@@ -157,16 +184,17 @@ class PlayoutBuffer:
                         "player_join_seconds",
                         "Session start to first displayed frame",
                     ).observe(now - self.session_start)
+                if telemetry.enabled and telemetry.causes_on:
+                    self._record_join_window(telemetry, now)
                 self._begin_playing(now)
         elif self._stall_started_at is not None:
             if self._buffered_until - self._anchor_media >= self.rebuffer_threshold_s:
                 stall_duration = now - self._stall_started_at
-                self._stalls.append(
-                    StallEvent(
-                        start=self._stall_started_at,
-                        duration=stall_duration,
-                    )
+                event = StallEvent(
+                    start=self._stall_started_at,
+                    duration=stall_duration,
                 )
+                self._stalls.append(event)
                 self._stall_started_at = None
                 telemetry = obs.active()
                 if telemetry.enabled and telemetry.metrics_on:
@@ -176,6 +204,8 @@ class PlayoutBuffer:
                     telemetry.metrics.histogram(
                         "player_stall_seconds", "Recovered stall durations",
                     ).observe(stall_duration)
+                if telemetry.enabled and telemetry.causes_on:
+                    self._record_stall_window(telemetry, event)
                 self._begin_playing(now)
 
     def _begin_playing(self, now: float) -> None:
@@ -207,6 +237,34 @@ class PlayoutBuffer:
             telemetry.metrics.counter(
                 "player_stalls_total", "Playback underruns (stall begins)",
             ).inc()
+        if telemetry.enabled and telemetry.causes_on:
+            # Snapshot the ledger as the stall opens; the delta when it
+            # closes is what delayed media during this stall.
+            self._causes_stall_base = telemetry.causes.totals()
+
+    def _record_join_window(self, telemetry, now: float) -> None:
+        if self._causes_join_base is None:
+            return
+        record = telemetry.causes.record_window(
+            "join",
+            start=self.session_start,
+            duration=now - self.session_start,
+            base=self._causes_join_base,
+        )
+        self.join_causes = record.causes
+        self._causes_join_base = None
+
+    def _record_stall_window(self, telemetry, event: StallEvent) -> None:
+        if self._causes_stall_base is None:
+            return
+        record = telemetry.causes.record_window(
+            "stall",
+            start=event.start,
+            duration=event.duration,
+            base=self._causes_stall_base,
+        )
+        event.causes = record.causes
+        self._causes_stall_base = None
 
     def _close_interval(self, now: float) -> None:
         duration = now - self._anchor_time
@@ -231,34 +289,55 @@ class PlayoutBuffer:
             self._stall_event.cancel()
             self._stall_event = None
         watch = end_time - self.session_start
+        telemetry = obs.active()
         if self._started_at is None:
+            # The whole session was join wait; close its window here.
+            if telemetry.enabled and telemetry.causes_on:
+                self._record_join_window(telemetry, end_time)
             return PlaybackReport(
                 started=False,
                 join_time_s=watch,
                 playback_s=0.0,
                 stalls=[],
                 mean_playback_latency_s=None,
+                join_causes=self.join_causes,
             )
         if self._playing:
             self._close_interval(end_time)
             self._playing = False
         elif self._stall_started_at is not None:
-            self._stalls.append(
-                StallEvent(
-                    start=self._stall_started_at,
-                    duration=end_time - self._stall_started_at,
-                )
+            event = StallEvent(
+                start=self._stall_started_at,
+                duration=end_time - self._stall_started_at,
             )
+            self._stalls.append(event)
             self._stall_started_at = None
+            if telemetry.enabled and telemetry.causes_on:
+                self._record_stall_window(telemetry, event)
         playback = sum(d for d, _ in self._intervals)
         mean_latency = (
             sum(d * l for d, l in self._intervals) / playback
             if playback > 0 else None
         )
+        if telemetry.enabled and telemetry.health_on:
+            total_stall = sum(s.duration for s in self._stalls)
+            join = self._started_at - self.session_start
+            telemetry.health.check(
+                "player.stall_within_watch",
+                0.0 <= total_stall <= watch + 1e-9,
+                f"stall {total_stall:.3f}s over watch {watch:.3f}s",
+            )
+            telemetry.health.check(
+                "player.accounting_consistent",
+                abs(join + playback + total_stall - watch) <= 1e-6,
+                f"join {join:.3f} + playback {playback:.3f} + "
+                f"stall {total_stall:.3f} != watch {watch:.3f}",
+            )
         return PlaybackReport(
             started=True,
             join_time_s=self._started_at - self.session_start,
             playback_s=playback,
             stalls=list(self._stalls),
             mean_playback_latency_s=mean_latency,
+            join_causes=self.join_causes,
         )

@@ -122,6 +122,8 @@ class HlsPlayer:
                 "retries_total", "Client retry attempts",
                 kind="hls-transport",
             ).inc()
+        if telemetry.enabled and telemetry.causes_on:
+            telemetry.causes.add("transport.retry_backoff", delay)
         self.loop.schedule(delay, action)
 
     # -------------------------------------------------------------- playlist
@@ -150,6 +152,9 @@ class HlsPlayer:
                 self._known_entries[entry.sequence] = entry
                 new_entries += 1
         if not playlist.entries:
+            telemetry = obs.active()
+            if telemetry.enabled and telemetry.causes_on:
+                telemetry.causes.add("hls.playlist_wait", PLAYLIST_RETRY_S)
             self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
             return
         if new_entries == 0:
@@ -176,6 +181,9 @@ class HlsPlayer:
                 self._next_sequence = newest_known
                 entry = self._known_entries[newest_known]
             else:
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.causes_on:
+                    telemetry.causes.add("hls.playlist_wait", PLAYLIST_RETRY_S)
                 self.loop.schedule(PLAYLIST_RETRY_S, self._request_playlist)
                 return
         self._fetching_segment = True

@@ -134,12 +134,16 @@ class RtmpPlayer:
             if delay is None:
                 self.reconnect_gave_up = True
                 return
+            if tel.enabled and tel.causes_on:
+                tel.causes.add("transport.retry_backoff", delay)
             self.loop.schedule(delay, attempt)
 
         first = schedule.next_delay(self.loop.now)
         if first is None:
             self.reconnect_gave_up = True
             return
+        if telemetry.enabled and telemetry.causes_on:
+            telemetry.causes.add("transport.retry_backoff", first)
         self.loop.schedule(first, attempt)
 
     # ------------------------------------------------------------- reporting

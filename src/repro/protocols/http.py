@@ -181,12 +181,13 @@ class HttpClient:
         """Send ``request``; ``callback`` fires when the response lands."""
         self._pending[request.request_id] = callback
         telemetry = obs.active()
-        if telemetry.enabled and telemetry.metrics_on:
+        if telemetry.enabled and (telemetry.metrics_on or telemetry.causes_on):
             kind = request_kind(request.path)
             self._inflight_meta[request.request_id] = (self.loop.now, kind)
-            telemetry.metrics.counter(
-                "http_requests_total", "HTTP requests sent", kind=kind,
-            ).inc()
+            if telemetry.metrics_on:
+                telemetry.metrics.counter(
+                    "http_requests_total", "HTTP requests sent", kind=kind,
+                ).inc()
         self.stream.send_from_a(
             Message(
                 payload=request,
@@ -208,23 +209,30 @@ class HttpClient:
         callback = self._pending.pop(response.request_id, None)
         self.responses_received += 1
         telemetry = obs.active()
-        if telemetry.enabled and telemetry.metrics_on:
+        if telemetry.enabled and (telemetry.metrics_on or telemetry.causes_on):
             meta = self._inflight_meta.pop(response.request_id, None)
             kind = meta[1] if meta else "other"
-            metrics = telemetry.metrics
-            metrics.counter(
-                "http_responses_total", "HTTP responses by status",
-                status=int(response.status), kind=kind,
-            ).inc()
-            if response.status == HttpStatus.TOO_MANY_REQUESTS:
+            if telemetry.metrics_on:
+                metrics = telemetry.metrics
                 metrics.counter(
-                    "http_429_total", "Rate-limited responses", kind=kind,
+                    "http_responses_total", "HTTP responses by status",
+                    status=int(response.status), kind=kind,
                 ).inc()
-            if meta is not None:
-                metrics.histogram(
-                    "http_request_latency_seconds",
-                    "Request send to response arrival (simulated)", kind=kind,
-                ).observe(now - meta[0])
+                if response.status == HttpStatus.TOO_MANY_REQUESTS:
+                    metrics.counter(
+                        "http_429_total", "Rate-limited responses", kind=kind,
+                    ).inc()
+                if meta is not None:
+                    metrics.histogram(
+                        "http_request_latency_seconds",
+                        "Request send to response arrival (simulated)",
+                        kind=kind,
+                    ).observe(now - meta[0])
+            if (telemetry.causes_on and meta is not None
+                    and response.status == HttpStatus.TOO_MANY_REQUESTS):
+                # A 429 burns a full round trip before any retry logic
+                # even starts; attribute that latency to rate limiting.
+                telemetry.causes.add("http.rate_limit", now - meta[0])
         if callback is not None:
             callback(response, now)
 

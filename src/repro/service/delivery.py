@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.media.audio import AacEncoderModel
 from repro.media.content import ContentProcess
 from repro.media.encoder import EncoderSettings, VideoEncoder
@@ -81,13 +82,25 @@ class UplinkModel:
     ) -> float:
         """When a frame captured at ``capture_time`` reaches the ingest
         server: base delay + jitter, deferred past any outage."""
-        arrival = capture_time + self.base_delay_s + abs(rng.gauss(0.0, self.jitter_s))
+        arrival, _ = self.arrival_with_defer(capture_time, rng, outages)
+        return arrival
+
+    def arrival_with_defer(
+        self,
+        capture_time: float,
+        rng: random.Random,
+        outages: Sequence[Tuple[float, float]],
+    ) -> Tuple[float, float]:
+        """:meth:`arrival_time` plus the seconds an outage deferred the
+        frame (0.0 when no outage was in the way)."""
+        base = capture_time + self.base_delay_s + abs(rng.gauss(0.0, self.jitter_s))
+        arrival = base
         for outage_start, outage_end in outages:
             if outage_start <= arrival < outage_end:
                 # Frames held up by an outage burst out at its end, keeping
                 # capture order via a tiny spacing term.
                 arrival = outage_end + max(0.0, capture_time - outage_start) * 0.01
-        return arrival
+        return arrival, max(0.0, arrival - base)
 
 
 class LiveSourceDriver:
@@ -174,12 +187,14 @@ class LiveSourceDriver:
             self._rng, self.broadcast_start, total_media + 10.0
         )
 
-        events: List[Tuple[float, MediaFrame]] = []
+        events: List[Tuple[float, MediaFrame, float]] = []
         for frame in self.encoder.generate(duration):
             shifted = _shift_video(frame, self.generate_from)
             capture = self.broadcast_start + shifted.dts
-            arrival = self.uplink.arrival_time(capture, self._rng, outages)
-            events.append((arrival, shifted))
+            arrival, defer = self.uplink.arrival_with_defer(
+                capture, self._rng, outages
+            )
+            events.append((arrival, shifted, defer))
 
         bundle_bound = self.generate_from
         for frame in self.audio.generate(duration):
@@ -193,19 +208,30 @@ class LiveSourceDriver:
                 math.floor(shifted.pts / self.AUDIO_BUNDLE_S) + 1
             ) * self.AUDIO_BUNDLE_S
             capture_close = self.broadcast_start + bundle_close
-            arrival = self.uplink.arrival_time(capture_close, self._rng, outages)
-            events.append((arrival, shifted))
+            arrival, defer = self.uplink.arrival_with_defer(
+                capture_close, self._rng, outages
+            )
+            events.append((arrival, shifted, defer))
 
         events.sort(key=lambda e: e[0])
-        for arrival, frame in events:
+        for arrival, frame, defer in events:
             if arrival <= self.loop.now:
                 self.history.append((arrival, frame))
             else:
                 self.loop.schedule_at(
-                    arrival, lambda f=frame, a=arrival: self._emit(f, a)
+                    arrival,
+                    lambda f=frame, a=arrival, d=defer: self._emit(f, a, d),
                 )
 
-    def _emit(self, frame: MediaFrame, arrival: float) -> None:
+    def _emit(
+        self, frame: MediaFrame, arrival: float, outage_defer: float = 0.0
+    ) -> None:
+        if outage_defer > 0.0:
+            # Attributed here, inside the already-scheduled arrival
+            # callback, so attribution adds no events to the loop.
+            telemetry = obs.active()
+            if telemetry.enabled and telemetry.causes_on:
+                telemetry.causes.add("uplink.outage", outage_defer)
         for sink in self._sinks:
             sink(frame, arrival)
 
@@ -367,10 +393,20 @@ class HlsOrigin:
 
     def _close_segment(self, segment: HlsSegment, completed_at: float, historical: bool) -> None:
         publish_at = completed_at + self.packaging_delay_s
+        outage_defer = 0.0
         for window_start, window_end in self.outage_windows:
             if window_start <= publish_at < window_end:
+                outage_defer += window_end - publish_at
                 publish_at = window_end
                 self.publishes_deferred += 1
+        telemetry = obs.active()
+        if (telemetry.enabled and telemetry.causes_on
+                and publish_at > self.loop.now):
+            # Only viewer-visible delay counts: segments that published
+            # before the session joined (history) cost the viewer nothing.
+            telemetry.causes.add("service.packaging", self.packaging_delay_s)
+            if outage_defer > 0.0:
+                telemetry.causes.add("service.outage", outage_defer)
         if historical and publish_at <= self.loop.now:
             self._publish(segment)
         else:

@@ -1,0 +1,26 @@
+"""Regenerate the golden attribution fixture.
+
+Run after a *deliberate* change to cause emission, clamp math, or the
+report format::
+
+    PYTHONPATH=src python tests/regen_attribution_golden.py
+
+then review the fixture diff like any other code change.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from test_obs_causes import GOLDEN, _forensics_run  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(_forensics_run(workers=1)["report"], encoding="utf-8")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

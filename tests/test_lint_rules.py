@@ -284,6 +284,95 @@ class TestInstrumentationGuard:
         """, rules=["O203"])
         assert findings == []
 
+    def test_unguarded_causes_surface_flagged(self):
+        findings = findings_for("""
+            from repro import obs
+
+            def record(delay):
+                telemetry = obs.active()
+                telemetry.causes.add("link.queue", delay)
+        """, rules=["O203"])
+        assert rule_ids_of(findings) == ["O203"]
+
+    def test_causes_guarded_by_causes_on_clean(self):
+        findings = findings_for("""
+            from repro import obs
+
+            def record(delay):
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.causes_on:
+                    telemetry.causes.add("link.queue", delay)
+        """, rules=["O203"])
+        assert findings == []
+
+    def test_health_guarded_by_health_on_clean(self):
+        findings = findings_for("""
+            from repro import obs
+
+            def record(level):
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.health_on:
+                    telemetry.health.check("player.buffer_nonnegative", level >= 0)
+        """, rules=["O203"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------- O204
+
+class TestCauseTaxonomy:
+    GUARDED = """
+        from repro import obs
+
+        def record(delay):
+            telemetry = obs.active()
+            if telemetry.enabled and telemetry.causes_on:
+                telemetry.causes.add({tag}, delay)
+    """
+
+    def test_taxonomy_tag_clean(self):
+        source = self.GUARDED.format(tag='"link.loss_recovery"')
+        assert findings_for(source, rules=["O204"]) == []
+
+    def test_off_taxonomy_tag_flagged(self):
+        source = self.GUARDED.format(tag='"link.gremlins"')
+        findings = findings_for(source, rules=["O204"])
+        assert rule_ids_of(findings) == ["O204"]
+        assert "link.gremlins" in findings[0].message
+
+    def test_dynamic_tag_flagged(self):
+        source = self.GUARDED.format(tag='f"link.{kind}"')
+        findings = findings_for(source, rules=["O204"])
+        assert rule_ids_of(findings) == ["O204"]
+
+    def test_aliased_collector_checked(self):
+        findings = findings_for("""
+            from repro import obs
+
+            def record(delay):
+                telemetry = obs.active()
+                if telemetry.enabled and telemetry.causes_on:
+                    causes = telemetry.causes
+                    causes.add("not.a.cause", delay)
+        """, rules=["O204"])
+        assert rule_ids_of(findings) == ["O204"]
+
+    def test_outside_sim_packages_ignored(self):
+        source = self.GUARDED.format(tag='"whatever.i.like"')
+        findings = findings_for(
+            source, path="src/repro/analysis/snippet.py", rules=["O204"]
+        )
+        assert findings == []
+
+    def test_unrelated_add_calls_clean(self):
+        findings = findings_for("""
+            def collect(items):
+                seen = set()
+                for item in items:
+                    seen.add(item)
+                return seen
+        """, rules=["O204"])
+        assert findings == []
+
 
 # ---------------------------------------------------------------- L301/L302
 

@@ -1,0 +1,93 @@
+"""Study-health invariant monitors: unit behaviour, the zero-violation
+guarantee on real (even faulted) runs, and export surfacing."""
+
+from repro import obs
+from repro.experiments.common import Workbench
+from repro.faults.impair import LossSpec
+from repro.faults.plan import FaultPlan
+from repro.obs.health import HealthMonitor
+from repro.obs.export import render_health, render_prometheus
+
+
+# ----------------------------------------------------------------- unit
+
+
+def test_monitor_counts_checks_and_violations():
+    monitor = HealthMonitor()
+    assert monitor.ok()
+    assert monitor.check("inv.a", True)
+    assert not monitor.check("inv.a", False, "level=-0.2")
+    assert not monitor.check("inv.b", False)
+    assert monitor.checks_total == 3
+    assert monitor.violations == {"inv.a": 1, "inv.b": 1}
+    assert monitor.violation_count == 2
+    assert not monitor.ok()
+    assert monitor.samples == ["inv.a: level=-0.2", "inv.b"]
+
+
+def test_monitor_caps_samples_but_not_counts():
+    monitor = HealthMonitor()
+    for index in range(HealthMonitor.MAX_SAMPLES + 10):
+        monitor.check("inv.spam", False, f"case {index}")
+    assert len(monitor.samples) == HealthMonitor.MAX_SAMPLES
+    assert monitor.violations["inv.spam"] == HealthMonitor.MAX_SAMPLES + 10
+
+
+def test_monitor_merge_adds_counts_and_caps_samples():
+    left = HealthMonitor()
+    left.check("inv.a", False, "one")
+    right = HealthMonitor()
+    right.check("inv.a", False, "two")
+    right.check("inv.b", True)
+    left.merge_from(right.snapshot())
+    assert left.checks_total == 3
+    assert left.violations == {"inv.a": 2}
+    assert left.samples == ["inv.a: one", "inv.a: two"]
+
+
+# ------------------------------------------------------------ simulation
+
+
+def test_faulted_run_holds_all_invariants():
+    """The monitors promote test_properties invariants to runtime; a
+    faulted study must evaluate many checks and violate none."""
+    obs.deactivate()
+    try:
+        workbench = Workbench(
+            seed=91, unlimited_sessions=2, sweep_sessions_per_limit=1,
+            sweep_limits_mbps=(2.0,), health=True,
+            faults=FaultPlan(loss=LossSpec(rate=0.02)),
+        )
+        workbench.study.run_batch(2, bandwidth_limit_mbps=2.0)
+        health = obs.active().health
+        assert health.checks_total > 0
+        assert health.ok(), health.samples
+        report = render_health(obs.active())
+        assert "violations: 0" in report
+        assert "all invariants held." in report
+    finally:
+        obs.deactivate()
+
+
+# --------------------------------------------------------------- exports
+
+
+def test_violations_surface_in_prometheus_and_report():
+    with obs.session(metrics=False, tracing=False, profiling=False,
+                     health=True) as telemetry:
+        telemetry.health.check("link.utilization_bounded", True)
+        telemetry.health.check("player.buffer_nonnegative", False,
+                               "gap=-0.3 at t=12.0")
+        dump = render_prometheus(telemetry)
+        assert "health_checks_total 2" in dump
+        assert ('health_violations_total{invariant='
+                '"player.buffer_nonnegative"} 1') in dump
+        report = render_health(telemetry)
+        assert "player.buffer_nonnegative" in report
+        assert "gap=-0.3 at t=12.0" in report
+
+
+def test_healthy_monitor_with_no_checks_stays_silent():
+    with obs.session(metrics=True, tracing=False, profiling=False) as telemetry:
+        telemetry.metrics.counter("x_total", "help").inc()
+        assert "health_checks_total" not in render_prometheus(telemetry)
