@@ -46,6 +46,12 @@ class ChatTrafficResult:
         return render_table(["measurement", "value"], rows)
 
 
+#: Matched-session watch window.  Shared by the session setup and the
+#: bitrate denominator — they must stay the same number or the reported
+#: kbps silently mis-scale.
+WATCH_SECONDS = 60.0
+
+
 def _session(seed: int, chat_ui_on: bool, cache: bool, viewers: float):
     broadcast = sample_broadcast(
         child_rng(seed, "sec51_chat"), 0.0, GeoPoint(41.0, 28.9), POPULATION_CENTERS[17]
@@ -57,7 +63,7 @@ def _session(seed: int, chat_ui_on: bool, cache: bool, viewers: float):
         age_at_join=900.0,
         protocol=DeliveryProtocol.HLS,
         device=GALAXY_S4,
-        watch_seconds=60.0,
+        watch_seconds=WATCH_SECONDS,
         chat_ui_on=chat_ui_on,
         cache_avatars=cache,
         seed=seed,
@@ -69,11 +75,11 @@ def run(seed: int = 2016, viewers: float = 3000.0) -> ChatTrafficResult:
     off = _session(seed, chat_ui_on=False, cache=False, viewers=viewers)
     on = _session(seed, chat_ui_on=True, cache=False, viewers=viewers)
     cached = _session(seed, chat_ui_on=True, cache=True, viewers=viewers)
-    watch = 60.0
+    watch_s = WATCH_SECONDS
     return ChatTrafficResult(
-        chat_off_bps=off.total_down_bytes * 8.0 / watch,
-        chat_on_bps=on.total_down_bytes * 8.0 / watch,
-        chat_on_cached_bps=cached.total_down_bytes * 8.0 / watch,
+        chat_off_bps=off.total_down_bytes * 8.0 / watch_s,
+        chat_on_bps=on.total_down_bytes * 8.0 / watch_s,
+        chat_on_cached_bps=cached.total_down_bytes * 8.0 / watch_s,
         avatar_requests=on.avatar_requests,
         duplicate_downloads=on.duplicate_avatar_downloads,
         avatar_bytes=on.avatar_bytes,

@@ -15,9 +15,26 @@ invariants as mechanical rules:
 * **F-rules** — float discipline on simulated time
   (:mod:`repro.lint.rules_float`).
 
+The flow-sensitive families run on a per-function CFG
+(:mod:`repro.lint.cfg`) with a forward abstract interpreter
+(:mod:`repro.lint.dataflow`):
+
+* **U-rules** — unit/dimension checking over the suffix conventions
+  (``_s``/``_bytes``/``_bps``/...) and the
+  :mod:`repro.lint.dimensions` algebra
+  (:mod:`repro.lint.rules_units`).
+* **R-rules** — RNG-taint: streams derive from
+  ``repro.util.rng.child_rng`` and draws never depend on telemetry
+  state (:mod:`repro.lint.rules_rng`).
+* **P-rules** — process-pool safety for work dispatched through
+  ``repro.core.parallel`` (:mod:`repro.lint.rules_pool`).
+
 Suppress a finding in place with ``# lint: disable=D102`` on the
-flagged line; tolerate pre-existing debt in ``lint-baseline.json``
-(refresh via ``python -m repro.lint --write-baseline``).
+flagged line, or file-wide with ``# lint: disable-file=U504`` (stale
+file pragmas are reported like stale baseline entries); tolerate
+pre-existing debt in ``lint-baseline.json`` (refresh via ``python -m
+repro.lint --write-baseline``).  ``--format sarif`` emits SARIF 2.1.0
+for GitHub code scanning (:mod:`repro.lint.sarif`).
 """
 
 from repro.lint.baseline import (
@@ -39,8 +56,11 @@ from repro.lint.registry import (
     rule_ids,
 )
 from repro.lint.runner import LintResult, lint_sources, run_lint
+from repro.lint.sarif import build_sarif, format_sarif
 
 __all__ = [
+    "build_sarif",
+    "format_sarif",
     "BaselineEntry",
     "BaselineError",
     "FileRule",

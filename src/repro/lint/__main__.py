@@ -5,6 +5,8 @@ Usage::
     python -m repro.lint                       # lint src/repro + tests
     python -m repro.lint src/repro/netsim      # a subtree
     python -m repro.lint --format json         # machine output for CI
+    python -m repro.lint --format sarif --output lint.sarif
+                                               # GitHub code scanning
     python -m repro.lint --list-rules          # rule catalogue
     python -m repro.lint --write-baseline      # accept current findings
 
@@ -27,6 +29,7 @@ from repro.lint.baseline import (
 from repro.lint.discovery import find_repo_root
 from repro.lint.registry import iter_rule_metadata
 from repro.lint.report import format_json, format_text
+from repro.lint.sarif import format_sarif
 from repro.lint.runner import run_lint
 
 
@@ -47,8 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="repo root (default: auto-detected from pyproject.toml)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         dest="output_format", help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -112,9 +119,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.output_format == "json":
-        sys.stdout.write(format_json(result))
+        rendered = format_json(result)
+    elif args.output_format == "sarif":
+        rendered = format_sarif(result)
     else:
-        print(format_text(result, show_baselined=args.show_baselined))
+        rendered = format_text(result, show_baselined=args.show_baselined) + "\n"
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        sys.stdout.write(rendered)
     return 0 if result.ok else 1
 
 

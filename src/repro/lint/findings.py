@@ -34,9 +34,16 @@ class Finding:
     baselined: bool = field(default=False, compare=False)
 
     @property
+    def normalized_text(self) -> str:
+        """Flagged line with runs of whitespace collapsed — fingerprint
+        material, so re-indenting or re-spacing a line (not just moving
+        it) leaves baseline entries matching."""
+        return " ".join(self.line_text.split())
+
+    @property
     def fingerprint(self) -> str:
         material = "\x1f".join(
-            (self.rule, self.path, self.line_text, str(self.occurrence))
+            (self.rule, self.path, self.normalized_text, str(self.occurrence))
         )
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
@@ -66,7 +73,7 @@ def assign_occurrences(findings: Sequence[Finding]) -> List[Finding]:
     ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
     counters: Dict[tuple, int] = {}
     for finding in ordered:
-        key = (finding.rule, finding.path, finding.line_text)
+        key = (finding.rule, finding.path, finding.normalized_text)
         finding.occurrence = counters.get(key, 0)
         counters[key] = finding.occurrence + 1
     return ordered

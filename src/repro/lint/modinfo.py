@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.cfg import FunctionCFG
 
 ROOT_PACKAGE = "repro"
 
@@ -41,6 +44,10 @@ class ModuleInfo:
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
     imports: List[ImportEdge] = field(default_factory=list)
+    #: Memoized per-family analysis results (units/rng/pool), so each
+    #: family runs its dataflow fixpoint once per file per lint run.
+    analysis_cache: Dict[str, object] = field(default_factory=dict)
+    _cfgs: Optional[list] = field(default=None, repr=False)
 
     @property
     def package(self) -> str:
@@ -59,6 +66,17 @@ class ModuleInfo:
         if 1 <= line <= len(self.lines):
             return self.lines[line - 1].strip()
         return ""
+
+    def function_cfgs(self) -> List["FunctionCFG"]:
+        """CFGs for every function plus the module body, built lazily and
+        cached — all flow-sensitive rule families share one build, just
+        as all families share the one :func:`ast.parse`."""
+        if self._cfgs is None:
+            # Deferred: modinfo is the bottom of the lint package and
+            # must not import siblings at module scope.
+            from repro.lint.cfg import build_module_cfgs
+            self._cfgs = build_module_cfgs(self.tree)
+        return self._cfgs
 
 
 def module_name_for(rel_path: str) -> str:

@@ -10,7 +10,8 @@ Rules come in two shapes:
 A rule registers itself with :func:`register`; the runner instantiates
 each registered class once per invocation.  Rule ids are ``<family
 letter><3 digits>`` — D determinism, O observability purity,
-L layering, F float discipline — and must be unique.
+L layering, F float discipline, U units/dimensions, R RNG taint,
+P process-pool safety — and must be unique.
 """
 
 from __future__ import annotations
@@ -103,4 +104,7 @@ def _load_builtin_rules() -> None:
         rules_float,
         rules_layering,
         rules_obs,
+        rules_pool,
+        rules_rng,
+        rules_units,
     )

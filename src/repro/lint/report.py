@@ -27,13 +27,19 @@ def format_text(result: LintResult, show_baselined: bool = False) -> str:
             f"({entry.fingerprint}) no longer matches; refresh with "
             f"--write-baseline"
         )
+    for path, pragma in result.stale_pragmas:
+        lines.append(
+            f"note: stale pragma disable-file={pragma.rule} @ "
+            f"{path}:{pragma.line} suppressed nothing; remove it"
+        )
     summary = (
         f"{len(result.files)} files checked: "
         f"{len(result.findings)} finding(s), "
         f"{len(result.baselined)} baselined, "
         f"{result.suppressed_count} suppressed by pragma, "
         f"{len(result.stale_baseline)} stale baseline entr"
-        f"{'y' if len(result.stale_baseline) == 1 else 'ies'}"
+        f"{'y' if len(result.stale_baseline) == 1 else 'ies'}, "
+        f"{len(result.stale_pragmas)} stale pragma(s)"
     )
     lines.append(summary)
     return "\n".join(lines)
@@ -46,11 +52,16 @@ def format_json(result: LintResult) -> str:
         "findings": [finding.to_json() for finding in result.findings],
         "baselined": [finding.to_json() for finding in result.baselined],
         "stale_baseline": [entry.to_json() for entry in result.stale_baseline],
+        "stale_pragmas": [
+            {"path": path, **pragma.to_json()}
+            for path, pragma in result.stale_pragmas
+        ],
         "counts": {
             "new": len(result.findings),
             "baselined": len(result.baselined),
             "suppressed": result.suppressed_count,
             "stale_baseline": len(result.stale_baseline),
+            "stale_pragmas": len(result.stale_pragmas),
         },
         "ok": result.ok,
     }

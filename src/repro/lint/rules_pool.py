@@ -1,0 +1,308 @@
+"""P-rules: process-pool safety.
+
+``repro.core.parallel`` promises bit-identical parallel runs, and the
+ROADMAP's sharded-worlds push will lean on it much harder.  That
+promise survives only while dispatched work is (a) picklable, (b) free
+of parent-visible side effects, and (c) merged in deterministic order.
+The dataflow engine tracks which local names hold unpicklable values
+(lambdas, nested functions, ``EventLoop``/``Link`` instances, open file
+handles) so the checks see through an intermediate assignment.
+
+* **P701** — the callable or an argument handed to ``.submit(...)`` /
+  ``.map(...)`` / ``ProcessPoolExecutor(initializer=...)`` is
+  unpicklable: a lambda, a function defined inside another function
+  (its closure cannot cross the process boundary), a live
+  ``EventLoop``/``Link``, or an ``open(...)`` handle.
+* **P702** — a dispatched *task* function assigns module globals
+  (``global x; x = ...``): the mutation happens in the worker, is
+  invisible to the parent, and silently diverges under the
+  ``fork``/``spawn`` start methods.  Worker state must ship back
+  through return values.  (``initializer=`` functions are the
+  sanctioned per-worker bootstrap and are exempt.)
+* **P703** — completion-order iteration: ``as_completed(...)`` /
+  ``.imap_unordered(...)`` merge results in whatever order workers
+  finish, which is nondeterministic; iterate futures in submission
+  order (``repro.core.parallel`` keeps an index-ordered list).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.cfg import FUNCTION_NODES
+from repro.lint.dataflow import (
+    Env,
+    ForwardAnalysis,
+    iter_shallow_exprs,
+    transfer_assignments,
+)
+from repro.lint.findings import Finding
+from repro.lint.modinfo import ModuleInfo
+from repro.lint.registry import FileRule, register
+
+RawFinding = Tuple[str, int, int, str]
+
+#: Abstract tags for values that must never cross a process boundary.
+LAMBDA = "lambda"
+NESTED_FUNCTION = "nested function"
+EVENT_LOOP = "EventLoop instance"
+LINK = "Link instance"
+OPEN_HANDLE = "open file handle"
+
+UNPICKLABLE = frozenset({LAMBDA, NESTED_FUNCTION, EVENT_LOOP, LINK, OPEN_HANDLE})
+
+#: Constructor names for live simulation objects that hold schedulers /
+#: callbacks and therefore never pickle.
+_UNPICKLABLE_CONSTRUCTORS = {
+    "EventLoop": EVENT_LOOP,
+    "Link": LINK,
+}
+
+_DISPATCH_METHODS = frozenset({"submit", "map"})
+
+
+class PicklabilityAnalysis(ForwardAnalysis):
+    """Tracks names bound to known-unpicklable values inside a scope.
+
+    ``in_function`` distinguishes nested ``def`` (unpicklable closure)
+    from a module-level ``def`` (picklable by reference).
+    """
+
+    def __init__(self, in_function: bool) -> None:
+        self.in_function = in_function
+
+    def join_values(self, a, b):
+        return a if a == b else (a or b)
+
+    def evaluate(self, node: ast.expr, env: Env) -> Optional[str]:
+        if isinstance(node, ast.Lambda):
+            return LAMBDA
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _UNPICKLABLE_CONSTRUCTORS:
+                return _UNPICKLABLE_CONSTRUCTORS[name]
+            if name == "open":
+                return OPEN_HANDLE
+            if name == "partial" and node.args:
+                return self.evaluate(node.args[0], env)
+            return None
+        if isinstance(node, ast.NamedExpr):
+            value = self.evaluate(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = value
+            return value
+        return None
+
+    def transfer(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, FUNCTION_NODES):
+            env[stmt.name] = NESTED_FUNCTION if self.in_function else None
+            return
+        transfer_assignments(stmt, env, self.evaluate)
+
+
+def _dispatched_task_names(tree: ast.Module) -> Dict[str, int]:
+    """Names passed as the callable to ``.submit``/``.map`` anywhere in
+    the module, mapped to the first dispatch line (for the P702 scan).
+    ``initializer=`` callables are deliberately not included."""
+    dispatched: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _DISPATCH_METHODS and node.args:
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                dispatched.setdefault(target.id, node.lineno)
+    return dispatched
+
+
+def _analyse_module(module: ModuleInfo) -> List[RawFinding]:
+    cached = module.analysis_cache.get("pool")
+    if cached is not None:
+        return cached
+    raw: List[RawFinding] = []
+    seen = set()
+
+    def report(node: ast.AST, rule: str, message: str) -> None:
+        key = (rule, getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+        if key not in seen:
+            seen.add(key)
+            raw.append((rule, key[1], key[2], message))
+
+    # -- P702: dispatched task functions mutating module globals -------------
+    dispatched = _dispatched_task_names(module.tree)
+    if dispatched:
+        for node in module.tree.body:
+            if not isinstance(node, FUNCTION_NODES) or node.name not in dispatched:
+                continue
+            mutated = _global_assignments(node)
+            for name, line, col in mutated:
+                report(
+                    _at(line, col), "P702",
+                    f"dispatched task function '{node.name}' assigns module "
+                    f"global '{name}'; worker-side mutations never reach the "
+                    f"parent — return the state instead (per-worker bootstrap "
+                    f"belongs in the pool initializer)",
+                )
+
+    # -- P701 / P703: per-scope dataflow over call sites ----------------------
+    for cfg in module.function_cfgs():
+        analysis = PicklabilityAnalysis(in_function=cfg.name != "<module>")
+
+        def check_stmt(stmt: ast.stmt, env: Env, analysis=analysis) -> None:
+            for expression in iter_shallow_exprs(stmt):
+                for node in ast.walk(expression):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    self_check_env = dict(env)
+                    _check_call(node, self_check_env, analysis, report)
+
+        entry_envs = analysis.solve(cfg)
+        for block in cfg.blocks:
+            env = dict(entry_envs.get(block.bid, {}))
+            for stmt in block.stmts:
+                check_stmt(stmt, env)
+                analysis.transfer(stmt, env)
+
+    module.analysis_cache["pool"] = raw
+    return raw
+
+
+def _check_call(
+    node: ast.Call, env: Env,
+    analysis: PicklabilityAnalysis,
+    report,
+) -> None:
+    func = node.func
+    func_name = None
+    if isinstance(func, ast.Name):
+        func_name = func.id
+    elif isinstance(func, ast.Attribute):
+        func_name = func.attr
+
+    # P703: completion-order merges.
+    if func_name in ("as_completed", "imap_unordered"):
+        report(
+            node, "P703",
+            f"{func_name}() yields results in completion order, which is "
+            f"nondeterministic across runs; iterate futures in submission "
+            f"order (index-ordered merge, as repro.core.parallel does)",
+        )
+        return
+
+    # P701 over executor dispatch sites.
+    if isinstance(func, ast.Attribute) and func.attr in _DISPATCH_METHODS \
+            and node.args:
+        for position, arg in enumerate(node.args):
+            kind = analysis.evaluate(arg, env)
+            if kind in UNPICKLABLE:
+                what = "callable" if position == 0 else f"argument {position}"
+                report(
+                    arg, "P701",
+                    f"unpicklable {what} ({kind}) dispatched through "
+                    f".{func.attr}(); workers receive arguments by pickle — "
+                    f"pass a module-level function and plain data",
+                )
+    # P701 over pool construction (initializer / initargs).
+    if (func_name is not None and "Executor" in func_name) or func_name == "Pool":
+        for keyword in node.keywords:
+            if keyword.arg == "initializer":
+                kind = analysis.evaluate(keyword.value, env)
+                if kind in UNPICKLABLE:
+                    report(
+                        keyword.value, "P701",
+                        f"unpicklable initializer ({kind}); the pool "
+                        f"initializer must be a module-level function",
+                    )
+            elif keyword.arg == "initargs" \
+                    and isinstance(keyword.value, (ast.Tuple, ast.List)):
+                for element in keyword.value.elts:
+                    kind = analysis.evaluate(element, env)
+                    if kind in UNPICKLABLE:
+                        report(
+                            element, "P701",
+                            f"unpicklable initializer argument ({kind}); "
+                            f"initargs cross the process boundary by pickle",
+                        )
+
+
+def _global_assignments(func: ast.AST) -> List[Tuple[str, int, int]]:
+    declared: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return []
+    mutated: List[Tuple[str, int, int]] = []
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                mutated.append((target.id, node.lineno, node.col_offset))
+    return mutated
+
+
+class _At:
+    """Minimal location carrier for findings not tied to one AST node."""
+
+    def __init__(self, lineno: int, col_offset: int) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+def _at(line: int, col: int) -> _At:
+    return _At(line, col)
+
+
+class _PoolRule(FileRule):
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_repro or module.package == "lint":
+            return
+        for rule_id, line, col, message in _analyse_module(module):
+            if rule_id == self.id:
+                yield self.finding(module, line, col, message)
+
+
+@register
+class UnpicklableDispatchRule(_PoolRule):
+    id = "P701"
+    name = "unpicklable-dispatch"
+    description = (
+        "lambda / nested function / EventLoop / Link / open handle "
+        "passed through ProcessPoolExecutor submit/map/initializer; "
+        "such values cannot cross the process boundary by pickle"
+    )
+
+
+@register
+class DispatchedGlobalMutationRule(_PoolRule):
+    id = "P702"
+    name = "dispatched-global-mutation"
+    description = (
+        "a function dispatched to worker processes assigns module "
+        "globals; worker-side mutation never reaches the parent — "
+        "return state, or use the sanctioned pool initializer"
+    )
+
+
+@register
+class UnorderedMergeRule(_PoolRule):
+    id = "P703"
+    name = "completion-order-merge"
+    description = (
+        "as_completed()/imap_unordered() iterate results in "
+        "nondeterministic completion order; merge worker results in "
+        "submission (index) order instead"
+    )

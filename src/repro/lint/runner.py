@@ -20,7 +20,12 @@ from repro.lint.baseline import (
 from repro.lint.discovery import discover_files, find_repo_root
 from repro.lint.findings import Finding, assign_occurrences
 from repro.lint.modinfo import ModuleInfo, parse_module
-from repro.lint.pragmas import parse_pragmas, suppressed
+from repro.lint.pragmas import (
+    file_suppressed,
+    parse_file_pragmas,
+    parse_pragmas,
+    suppressed,
+)
 from repro.lint.registry import FileRule, ProjectRule, all_rules
 
 
@@ -36,8 +41,10 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     #: Baseline entries that matched nothing (candidates for removal).
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
-    #: Findings silenced by a ``# lint: disable=`` pragma.
+    #: Findings silenced by a ``# lint: disable=`` pragma (line or file).
     suppressed_count: int = 0
+    #: ``disable-file`` entries that suppressed nothing: (path, pragma).
+    stale_pragmas: List[tuple] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -63,18 +70,40 @@ def _check_modules(
 def _drop_suppressed(
     raw: Sequence[Finding], modules: Sequence[ModuleInfo]
 ) -> tuple:
+    """(kept findings, suppressed count, stale ``disable-file`` pragmas).
+
+    File-level pragmas mirror baseline staleness: every ``disable-file``
+    rule id that suppressed zero findings comes back as stale so the
+    report can flag it for removal.
+    """
     pragma_tables = {
         module.path: parse_pragmas(module.lines) for module in modules
     }
+    file_tables = {
+        module.path: parse_file_pragmas(module.lines) for module in modules
+    }
+    used: set = set()
     kept: List[Finding] = []
     dropped = 0
     for finding in raw:
         pragmas = pragma_tables.get(finding.path, {})
         if suppressed(pragmas, finding.line, finding.rule):
             dropped += 1
-        else:
-            kept.append(finding)
-    return kept, dropped
+            continue
+        hit, matches = file_suppressed(
+            file_tables.get(finding.path, ()), finding.rule
+        )
+        if hit:
+            dropped += 1
+            used.update((finding.path, entry) for entry in matches)
+            continue
+        kept.append(finding)
+    stale: List[tuple] = []
+    for path in sorted(file_tables):
+        for entry in file_tables[path]:
+            if (path, entry) not in used:
+                stale.append((path, entry))
+    return kept, dropped, stale
 
 
 def parse_files(root: str, rel_paths: Sequence[str]) -> tuple:
@@ -109,7 +138,7 @@ def lint_modules(
 ) -> List[Finding]:
     """Rules + pragmas + occurrence numbering over parsed modules."""
     raw = _check_modules(modules, only_rules)
-    kept, _ = _drop_suppressed(raw, modules)
+    kept, _, _ = _drop_suppressed(raw, modules)
     return assign_occurrences(kept)
 
 
@@ -138,10 +167,13 @@ def run_lint(
     files = discover_files(root, paths)
     modules, errors = parse_files(root, files)
     raw = _check_modules(modules, only_rules) + errors
-    kept, dropped = _drop_suppressed(raw, modules)
+    kept, dropped, stale_pragmas = _drop_suppressed(raw, modules)
     findings = assign_occurrences(kept)
 
-    result = LintResult(root=root, files=files, suppressed_count=dropped)
+    result = LintResult(
+        root=root, files=files, suppressed_count=dropped,
+        stale_pragmas=stale_pragmas,
+    )
     if use_baseline:
         if baseline_path is None:
             baseline_path = os.path.join(root, DEFAULT_BASELINE_NAME)

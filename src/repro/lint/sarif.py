@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 output for the lint gate.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests: emitting it lets CI annotate PR diffs with U/R/P
+findings instead of burying them in a job log.  The document built here
+is deliberately minimal-but-valid: one ``run``, the rule catalogue under
+``tool.driver.rules`` (only rules that actually fired, so the file stays
+small), and one ``result`` per finding carrying the same stable
+fingerprint the baseline uses under ``partialFingerprints``.
+
+Baselined findings are exported with ``"suppressions"`` so code scanning
+shows them as dismissed rather than re-opening them on every push.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import iter_rule_metadata
+from repro.lint.runner import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Key under ``partialFingerprints`` carrying the baseline fingerprint.
+FINGERPRINT_KEY = "reproLint/v1"
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_object(meta: Dict[str, str]) -> Dict[str, object]:
+    return {
+        "id": meta["id"],
+        "name": meta["name"],
+        "shortDescription": {"text": meta["name"].replace("-", " ")},
+        "fullDescription": {"text": meta["description"]},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(meta["severity"], "error"),
+        },
+    }
+
+
+def _result_object(
+    finding: Finding, rule_index: Dict[str, int]
+) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }
+        ],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+    if finding.baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "covered by lint-baseline.json"}
+        ]
+    return result
+
+
+def build_sarif(result: LintResult) -> Dict[str, object]:
+    """The SARIF 2.1.0 document for one lint run, as a plain dict."""
+    exported = list(result.findings) + list(result.baselined)
+    fired = {finding.rule for finding in exported}
+    rules = [
+        _rule_object(meta)
+        for meta in iter_rule_metadata()
+        if meta["id"] in fired
+    ]
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = [
+        _result_object(finding, rule_index) for finding in exported
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": "2.0.0",
+                        "rules": rules,
+                    },
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///", "description": {
+                        "text": "repository root"}},
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(result: LintResult) -> str:
+    return json.dumps(build_sarif(result), indent=2, sort_keys=False) + "\n"

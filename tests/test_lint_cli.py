@@ -142,7 +142,10 @@ def test_list_rules(mini_repo):
     assert proc.returncode == 0
     for rule_id in ("D101", "D102", "D103", "D104", "D105",
                     "O201", "O202", "O203", "L301", "L302", "L303",
-                    "F401", "F402"):
+                    "F401", "F402",
+                    "U501", "U502", "U503", "U504", "U505",
+                    "R601", "R602", "R603",
+                    "P701", "P702", "P703"):
         assert rule_id in proc.stdout
 
 
@@ -161,3 +164,154 @@ def test_real_repo_cli_is_clean():
     payload = json.loads(proc.stdout)
     assert payload["ok"] is True
     assert payload["counts"]["new"] == 0
+
+
+# ---------------------------------------------------------------- sarif
+
+_SARIF_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _assert_valid_sarif(payload):
+    """Structural check against the SARIF 2.1.0 schema subset we emit."""
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0.json" in payload["$schema"]
+    assert isinstance(payload["runs"], list) and payload["runs"]
+    for run in payload["runs"]:
+        driver = run["tool"]["driver"]
+        assert driver["name"]
+        rule_ids = []
+        for rule in driver.get("rules", []):
+            assert rule["id"]
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in _SARIF_LEVELS
+            rule_ids.append(rule["id"])
+        assert len(rule_ids) == len(set(rule_ids))
+        for result in run.get("results", []):
+            assert result["message"]["text"]
+            assert result["level"] in _SARIF_LEVELS
+            if "ruleIndex" in result:
+                assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            for location in result.get("locations", []):
+                physical = location["physicalLocation"]
+                assert physical["artifactLocation"]["uri"]
+                assert physical["region"]["startLine"] >= 1
+
+
+def test_sarif_format_is_structurally_valid(mini_repo):
+    seed_violation(mini_repo)
+    proc = run_cli("--root", str(mini_repo), "--format", "sarif")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    _assert_valid_sarif(payload)
+    results = payload["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["D101"]
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/netsim/link.py"
+
+
+def test_sarif_round_trips_json_findings(mini_repo):
+    """Acceptance criterion: SARIF carries the same findings (and the
+    same fingerprints) as --format json."""
+    seed_violation(mini_repo)
+    (mini_repo / "src" / "repro" / "netsim" / "extra.py").write_text(
+        "def tx(wire_bytes, rate_bps):\n    return wire_bytes / rate_bps\n"
+    )
+    json_proc = run_cli("--root", str(mini_repo), "--format", "json")
+    sarif_proc = run_cli("--root", str(mini_repo), "--format", "sarif")
+    json_payload = json.loads(json_proc.stdout)
+    sarif_payload = json.loads(sarif_proc.stdout)
+    _assert_valid_sarif(sarif_payload)
+
+    from repro.lint.sarif import FINGERPRINT_KEY
+    json_view = {
+        (f["rule"], f["path"], f["line"], f["fingerprint"])
+        for f in json_payload["findings"]
+    }
+    sarif_view = {
+        (
+            r["ruleId"],
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            r["partialFingerprints"][FINGERPRINT_KEY],
+        )
+        for r in sarif_payload["runs"][0]["results"]
+    }
+    assert json_view == sarif_view
+    assert len(json_view) == 2  # D101 + U504
+
+
+def test_sarif_marks_baselined_findings_suppressed(mini_repo):
+    seed_violation(mini_repo)
+    run_cli("--root", str(mini_repo), "--write-baseline")
+    proc = run_cli("--root", str(mini_repo), "--format", "sarif")
+    assert proc.returncode == 0
+    payload = json.loads(proc.stdout)
+    results = payload["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["suppressions"][0]["kind"] == "external"
+
+
+def test_output_flag_writes_file(mini_repo):
+    seed_violation(mini_repo)
+    out = mini_repo / "lint.sarif"
+    proc = run_cli("--root", str(mini_repo), "--format", "sarif",
+                   "--output", str(out))
+    assert proc.returncode == 1  # exit code still reflects findings
+    assert proc.stdout == ""
+    _assert_valid_sarif(json.loads(out.read_text()))
+
+
+# ---------------------------------------------------------------- disable-file
+
+def test_disable_file_pragma_suppresses_whole_file(mini_repo):
+    (mini_repo / "src" / "repro" / "netsim" / "link.py").write_text(
+        textwrap.dedent("""
+            # lint: disable-file=D101
+            import time
+
+            def transit(loop, delay):
+                return time.time() + delay
+
+            def arrive(loop):
+                return time.time()
+        """).lstrip()
+    )
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 0, proc.stdout
+    assert "2 suppressed by pragma" in proc.stdout
+    assert "note: stale pragma" not in proc.stdout
+
+
+def test_stale_disable_file_pragma_is_reported(mini_repo):
+    (mini_repo / "src" / "repro" / "netsim" / "link.py").write_text(
+        "# lint: disable-file=D101\n"
+        "def transit(loop, delay):\n"
+        "    return loop.now + delay\n"
+    )
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 0
+    assert "note: stale pragma disable-file=D101" in proc.stdout
+    json_proc = run_cli("--root", str(mini_repo), "--format", "json")
+    payload = json.loads(json_proc.stdout)
+    assert payload["counts"]["stale_pragmas"] == 1
+    assert payload["stale_pragmas"][0]["rule"] == "D101"
+
+
+def test_indented_disable_file_text_is_inert(mini_repo):
+    # A docstring example of the pragma must not disable anything.
+    (mini_repo / "src" / "repro" / "netsim" / "link.py").write_text(
+        textwrap.dedent('''
+            """Docs showing the pragma:
+
+                # lint: disable-file=D101
+            """
+            import time
+
+            def transit(loop, delay):
+                return time.time() + delay
+        ''').lstrip()
+    )
+    proc = run_cli("--root", str(mini_repo))
+    assert proc.returncode == 1
+    assert "D101" in proc.stdout
+    assert "note: stale pragma" not in proc.stdout

@@ -223,3 +223,48 @@ class TestShippedTree:
             payload = json.load(handle)
         assert payload["version"] == 1
         assert isinstance(payload["findings"], list)
+
+
+# ------------------------------------------------- fingerprint normalization
+
+class TestFingerprintNormalization:
+    def test_stable_across_respacing(self):
+        """Pure formatting churn (internal whitespace) must not invalidate
+        baseline entries, same as pure line shifts."""
+        base = _violation_source()
+        respaced = base.replace("return time.time()", "return    time.time()")
+        f1 = lint_sources({"src/repro/netsim/s.py": base}, only_rules=["D101"])
+        f2 = lint_sources({"src/repro/netsim/s.py": respaced}, only_rules=["D101"])
+        assert f1[0].line_text != f2[0].line_text
+        assert f1[0].normalized_text == f2[0].normalized_text
+        assert f1[0].fingerprint == f2[0].fingerprint
+
+    def test_stable_across_shift_plus_reindent(self):
+        """The shifted fixture: new code above AND a reindent (wrapping in
+        an if) — line number and raw text both change, identity survives."""
+        base = _violation_source()
+        shifted = textwrap.dedent("""
+            import time
+
+            FLAG = True
+
+            def arrival():
+                if FLAG:
+                        return time.time()
+        """)
+        f1 = lint_sources({"src/repro/netsim/s.py": base}, only_rules=["D101"])
+        f2 = lint_sources({"src/repro/netsim/s.py": shifted}, only_rules=["D101"])
+        assert f1[0].line != f2[0].line
+        assert f1[0].fingerprint == f2[0].fingerprint
+
+    def test_respacing_keeps_baseline_entry_matching(self):
+        base = _violation_source()
+        findings = lint_sources({"src/repro/netsim/s.py": base}, only_rules=["D101"])
+        entries = [BaselineEntry(rule=f.rule, path=f.path, fingerprint=f.fingerprint)
+                   for f in findings]
+        respaced = base.replace("return time.time()", "return   time.time()")
+        after = lint_sources({"src/repro/netsim/s.py": respaced}, only_rules=["D101"])
+        new, matched, stale = apply_baseline(after, entries)
+        assert new == []
+        assert len(matched) == 1
+        assert stale == []
