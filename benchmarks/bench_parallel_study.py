@@ -28,9 +28,15 @@ from repro.core.study import AutomatedViewingStudy
 DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_parallel_study.json"
 
 
-def run_sweep(seed, per_limit, limits, workers):
-    """One full seeded sweep at a fixed worker count; returns (dataset, s)."""
-    study = AutomatedViewingStudy(StudyConfig(seed=seed, workers=workers))
+def run_sweep(seed, per_limit, limits, workers, exact=False):
+    """One full seeded sweep at a fixed worker count; returns (dataset, s).
+
+    ``exact=True`` forces the exact per-packet network path; the default
+    uses the segment-granularity fast path (:mod:`repro.netsim.fastpath`).
+    """
+    study = AutomatedViewingStudy(
+        StudyConfig(seed=seed, workers=workers, exact_network=exact)
+    )
     started = time.perf_counter()
     sweep = {
         limit: study.run_batch(per_limit, bandwidth_limit_mbps=limit)
@@ -63,6 +69,19 @@ def main():
     else:
         per_limit, limits, worker_counts = 6, (0.5, 2.0, 100.0), (1, 2, 4, 8)
 
+    config = {
+        "seed": args.seed,
+        "sessions_per_limit": per_limit,
+        "limits_mbps": list(limits),
+        "quick": args.quick,
+    }
+    existing = None
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            existing = None
+
     baseline_sweep = None
     baseline_seconds = None
     runs = []
@@ -85,16 +104,70 @@ def main():
                 f"parallel dataset at workers={workers} diverged from serial"
             )
 
+    # ---- exact-path cross-check: the fast path's one guarantee ---------
+    exact_sweep, exact_seconds = run_sweep(
+        args.seed, per_limit, limits, workers=1, exact=True
+    )
+    exact_identical = datasets_identical(baseline_sweep, exact_sweep)
+    print(f"exact path (serial): {exact_seconds:.2f}s "
+          f"(fast path x{exact_seconds / baseline_seconds:.2f} faster, "
+          f"identical={exact_identical})")
+    if not exact_identical:
+        raise SystemExit("fast-path dataset diverged from the exact path")
+
+    # ---- speed trajectory: sessions/sec over the repo's history --------
+    n_sessions = per_limit * len(limits)
+    trajectory = []
+    if existing is not None:
+        trajectory = list(existing.get("trajectory", []))
+        if not trajectory and existing.get("runs"):
+            # First run against a pre-trajectory file: anchor the
+            # before/after pair by recording the stored serial run.
+            prior = existing["runs"][0]
+            prior_sessions = (existing["config"]["sessions_per_limit"]
+                             * len(existing["config"]["limits_mbps"]))
+            trajectory.append({
+                "label": "pre-fastpath",
+                "config": existing["config"],
+                "serial_seconds": prior["seconds"],
+                "sessions": prior_sessions,
+                "sessions_per_sec_serial": round(
+                    prior_sessions / prior["seconds"], 3),
+                "cpu_count": existing.get("cpu_count"),
+            })
+    entry = {
+        "label": "current",
+        "config": config,
+        "serial_seconds": round(baseline_seconds, 3),
+        "sessions": n_sessions,
+        "sessions_per_sec_serial": round(n_sessions / baseline_seconds, 3),
+        "exact_serial_seconds": round(exact_seconds, 3),
+        "fast_exact_identical": exact_identical,
+        "cpu_count": os.cpu_count(),
+    }
+    comparable = [
+        prior for prior in trajectory
+        if prior.get("config") == config and prior is not entry
+    ]
+    if comparable:
+        before = comparable[0]["sessions_per_sec_serial"]
+        entry["speedup_vs_baseline"] = round(
+            entry["sessions_per_sec_serial"] / before, 3)
+        print(f"sessions/sec serial: {before} -> "
+              f"{entry['sessions_per_sec_serial']} "
+              f"(x{entry['speedup_vs_baseline']})")
+    trajectory.append(entry)
+
     report = {
         "benchmark": "parallel_study",
-        "config": {
-            "seed": args.seed,
-            "sessions_per_limit": per_limit,
-            "limits_mbps": list(limits),
-            "quick": args.quick,
-        },
+        "config": config,
         "cpu_count": os.cpu_count(),
         "runs": runs,
+        "exact": {
+            "seconds": round(exact_seconds, 3),
+            "identical_to_fast": exact_identical,
+        },
+        "trajectory": trajectory,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")

@@ -99,6 +99,13 @@ class StudyConfig:
     health_enabled: bool = False
 
     # ------------------------------------------------------------------ network
+    #: Force the exact per-packet network path (one event-loop callback
+    #: per packet per link) instead of the default segment-granularity
+    #: fast path (:mod:`repro.netsim.fastpath`).  Results are
+    #: bit-identical either way — enforced by the fast-path identity
+    #: tests — so this is a debugging/verification knob, not a fidelity
+    #: one.
+    exact_network: bool = False
     #: Unshaped access bandwidth of the tethered phone (paper: >100 Mbps).
     access_bandwidth_bps: float = 100.0 * MBPS
     #: One-way propagation delay phone <-> tethering desktop.

@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.qoe import SessionQoE
+from repro.netsim import fastpath
 from repro.core.session import SessionSetup, ViewingSession
 from repro.service.ingest import IngestPool
 from repro.util.rng import Seedable, child_rng
@@ -73,6 +74,7 @@ def _worker_init(
     metrics_enabled: bool,
     causes_enabled: bool = False,
     health_enabled: bool = False,
+    exact_network: bool = False,
 ) -> None:
     """Bootstrap one worker: rebuild the frozen ingest pool from the seed.
 
@@ -84,6 +86,9 @@ def _worker_init(
     """
     global _WORKER_INGEST, _WORKER_METRICS, _WORKER_CAUSES, _WORKER_HEALTH
     obs.deactivate()
+    # Mirror the parent's network-path mode: a forked worker inherits the
+    # parent's flag, but a spawned one starts at the default.
+    fastpath.set_enabled(not exact_network)
     _WORKER_INGEST = IngestPool(child_rng(study_seed, "ingest-pool"))
     _WORKER_METRICS = metrics_enabled
     _WORKER_CAUSES = causes_enabled
@@ -165,6 +170,7 @@ def run_sessions(
     metrics_enabled: bool = False,
     causes_enabled: bool = False,
     health_enabled: bool = False,
+    exact_network: bool = False,
 ) -> Tuple[List[SessionResult], List[dict]]:
     """Fan ``ViewingSession.run()`` out across ``workers`` processes.
 
@@ -184,7 +190,8 @@ def run_sessions(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(study_seed, metrics_enabled, causes_enabled, health_enabled),
+        initargs=(study_seed, metrics_enabled, causes_enabled,
+                  health_enabled, exact_network),
     ) as pool:
         futures = [
             (start, pool.submit(_run_chunk, list(setups[start:stop])))

@@ -21,6 +21,7 @@ from repro.core.config import StudyConfig
 from repro.core.parallel import run_sessions
 from repro.core.qoe import SessionQoE
 from repro.core.session import SessionArtifacts, SessionSetup, ViewingSession
+from repro.netsim import fastpath
 from repro.service.ingest import IngestPool
 from repro.service.selection import DeliveryProtocol, select_protocol
 from repro.service.world import ServiceWorld, WorldParameters
@@ -202,6 +203,22 @@ class AutomatedViewingStudy:
                 ).inc(dataset.shortfall)
 
         # ---- phase 2: session execution ---------------------------------
+        # The network-path switch scopes to execution only: sampling never
+        # builds connections, and restoring the previous value keeps a
+        # study from leaking its mode into the caller's process state.
+        previous_fast = fastpath.enabled()
+        fastpath.set_enabled(not self.config.exact_network)
+        try:
+            self._execute_batch(setups, dataset, workers, telemetry,
+                                metrics_on, limit_label)
+        finally:
+            fastpath.set_enabled(previous_fast)
+        return dataset
+
+    def _execute_batch(self, setups, dataset, workers, telemetry,
+                       metrics_on, limit_label) -> None:
+        """Phase 2 of :meth:`run_batch`: run prepared setups (inline or
+        fanned out) and fold results into ``dataset``."""
         if workers > 1 and len(setups) > 1:
             results, snapshots = run_sessions(
                 setups,
@@ -210,6 +227,7 @@ class AutomatedViewingStudy:
                 metrics_enabled=metrics_on,
                 causes_enabled=telemetry.enabled and telemetry.causes_on,
                 health_enabled=telemetry.enabled and telemetry.health_on,
+                exact_network=self.config.exact_network,
             )
             for snapshot in snapshots:
                 if snapshot.get("metrics") is not None:
@@ -250,7 +268,6 @@ class AutomatedViewingStudy:
                         "Sessions completed toward the per-limit target",
                         limit=limit_label,
                     ).set(float(len(dataset.sessions)))
-        return dataset
 
     def run_unlimited(self, n_sessions: Optional[int] = None) -> StudyDataset:
         """The unshaped dataset (paper: 1796 RTMP + 1586 HLS sessions)."""

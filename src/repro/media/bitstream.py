@@ -65,6 +65,22 @@ def encode_audio_frame(frame: AudioFrame, fill: int = 0) -> bytes:
     )
 
 
+def encoded_video_size(frame: EncodedFrame) -> int:
+    """``len(encode_video_frame(frame))`` without building the bytes.
+
+    Lets size-fidelity senders (the common case) skip materializing the
+    filler payload entirely."""
+    size = _VIDEO_HEAD.size + _LEN.size + frame.nbytes
+    if frame.ntp_timestamp is not None:
+        size += _NTP.size
+    return size
+
+
+def encoded_audio_size(frame: AudioFrame) -> int:
+    """``len(encode_audio_frame(frame))`` without building the bytes."""
+    return _AUDIO_HEAD.size + _LEN.size + frame.nbytes
+
+
 ParsedFrame = Union[EncodedFrame, AudioFrame]
 
 

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Optional, Sequence
 
+import repro.netsim.fastpath as fastpath
 from repro.netsim.events import EventLoop
 from repro.netsim.host import Host
 from repro.netsim.link import Link
@@ -158,6 +159,14 @@ class Connection:
         forward.install(self.flow_id, self._deliver_data, ack=False)
         reverse.install(self.flow_id, self._deliver_ack, ack=True)
 
+        #: Fast-path lane (see :mod:`repro.netsim.fastpath`): books the
+        #: same link arithmetic without per-packet events.  None when
+        #: the exact per-packet path is requested.
+        self._lane: Optional[fastpath.FastLane] = None
+        engine = fastpath.attach(loop)
+        if engine is not None:
+            self._lane = fastpath.FastLane(engine, self)
+
     @property
     def src(self) -> Host:
         return self.forward.src
@@ -173,6 +182,8 @@ class Connection:
         ``queued_at`` stamped) for caller-side bookkeeping."""
         if self.closed:
             raise RuntimeError(f"send on closed connection {self.name}")
+        if self._lane is not None:
+            return self._lane.send(message)
         message.queued_at = self.loop.now
         offset = 0
         while offset < message.nbytes:

@@ -65,6 +65,12 @@ class EventLoop:
         #: Shared profiler when telemetry is active at construction; the
         #: common case is None and costs one attribute check per step.
         self.profiler = obs.active().loop_profiler()
+        #: Fast-path micro-event engine (:mod:`repro.netsim.fastpath`);
+        #: attaches itself when the first fast-lane connection is built.
+        #: Micro-events always run interleaved in global (time, seq)
+        #: order with real events, so the fast path cannot reorder
+        #: anything relative to the exact path.
+        self._fast = None
 
     @property
     def now(self) -> float:
@@ -102,9 +108,28 @@ class EventLoop:
                 return event
         return None
 
+    def _peek_live(self) -> Optional[Tuple[float, int, Event]]:
+        """The earliest non-cancelled queue entry, purging dead heads.
+
+        Called once per fast-path micro-event; the head is almost always
+        live, so that case takes a single tuple access."""
+        queue = self._queue
+        if not queue:
+            return None
+        head = queue[0]
+        if not head[2].cancelled:
+            return head
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0] if queue else None
+
     def step(self) -> bool:
-        """Run the next pending event.  Returns False when the queue is
-        empty."""
+        """Run the next pending event (first draining any fast-path
+        micro-events that precede it).  Returns False when nothing —
+        event or micro-event — remains."""
+        fast = self._fast
+        if fast is not None and fast.active:
+            fast.drain_before_events()
         event = self._pop_next()
         if event is None:
             return False
@@ -147,12 +172,20 @@ class EventLoop:
             # otherwise step() could skip past the deadline.
             while self._queue and self._queue[0][2].cancelled:
                 heapq.heappop(self._queue)
-            if not self._queue or self._queue[0][0] > time:
-                break
-            if fired >= max_events:
-                raise RuntimeError(f"event loop exceeded {max_events} events")
-            self.step()
-            fired += 1
+            if self._queue and self._queue[0][0] <= time:
+                if fired >= max_events:
+                    raise RuntimeError(
+                        f"event loop exceeded {max_events} events")
+                self.step()
+                fired += 1
+                continue
+            # No real event is due: flush fast-path micro-events up to
+            # the deadline.  Their handlers may schedule new real events
+            # inside the window, so loop back around.
+            fast = self._fast
+            if fast is not None and fast.active and fast.drain_until(time):
+                continue
+            break
         self._now = time
 
     def pending(self) -> int:

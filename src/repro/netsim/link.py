@@ -11,7 +11,8 @@ used on the tethering host to impose artificial bandwidth limits.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro import obs
 from repro.faults.impair import LinkImpairment
@@ -70,6 +71,11 @@ class Link:
         #: packet was queued — which is the delay the frontier packet,
         #: and hence the player, actually experiences.
         self._queue_charged_until = 0.0
+        #: Idle intervals inside the busy horizon: a shaper or impairment
+        #: deferral leaves the wire silent between the previous packet's
+        #: end and the deferred start, yet ``_busy_until`` spans the gap.
+        #: Gaps wholly in the past are pruned as they expire.
+        self._gaps: Deque[Tuple[float, float]] = deque()
         self._taps: List[PacketTap] = []
         self.bytes_carried = 0
         self.packets_carried = 0
@@ -82,19 +88,40 @@ class Link:
         """Remove a previously registered observer."""
         self._taps.remove(observer)
 
+    def _pending_tx_time(self, now: float) -> float:
+        """Transmission work still ahead of the wire at ``now``.
+
+        The busy horizon minus any idle deferral gaps inside it: a
+        shaper or flap/jitter deferral pushes ``_busy_until`` out without
+        the transmitter doing work over the gap, so the horizon alone
+        overstates pending work.
+        """
+        pending = self._busy_until - now
+        gaps = self._gaps
+        if pending <= 0.0:
+            if gaps:
+                gaps.clear()
+            return 0.0
+        while gaps and gaps[0][1] <= now:
+            gaps.popleft()
+        for gap_start, gap_end in gaps:
+            overlap = min(gap_end, self._busy_until) - max(gap_start, now)
+            if overlap > 0.0:
+                pending -= overlap
+        return max(0.0, pending)
+
     def utilization_until_now(self) -> float:
         """Fraction of elapsed time the transmitter has been busy.
 
         Counts only transmission that has already happened: serialization
-        scheduled beyond ``now`` (bytes still queued or on the wire) is
-        excluded, so the value is a true busy-time integral and always
-        lands in [0, 1].
+        scheduled beyond ``now`` (bytes still queued or on the wire) and
+        idle shaper/impairment deferral gaps are excluded, so the value
+        is a true busy-time integral and always lands in [0, 1].
         """
         now = self.loop.now
         if now <= 0:
             return 0.0
-        pending = max(0.0, self._busy_until - now)
-        completed = self._busy_time_scheduled - pending
+        completed = self._busy_time_scheduled - self._pending_tx_time(now)
         return min(1.0, max(0.0, completed / now))
 
     def send(self, packet: Packet) -> None:
@@ -102,26 +129,51 @@ class Link:
         now = self.loop.now
         for observer in self._taps:
             observer(packet, now)
-        queue_wait = max(0.0, self._busy_until - now)
-        queue_charge = max(
-            0.0, self._busy_until - max(now, self._queue_charged_until)
-        )
-        if queue_wait > 0.0:
-            self._queue_charged_until = max(
-                self._queue_charged_until, self._busy_until
-            )
-        start = max(now, self._busy_until)
-        if self.shaper is not None:
-            start = max(start, self.shaper.earliest_start(packet.wire_bytes, start))
-            self.shaper.consume(packet.wire_bytes, start)
-        throttle_wait = start - max(now, self._busy_until)
-        tx_time = packet.wire_bytes * 8.0 / self.rate_bps
-        telemetry = obs.active()
-        causes_on = telemetry.enabled and telemetry.causes_on
+        arrival = self._admit(packet.wire_bytes, now)
+        self.loop.schedule_at(arrival, lambda p=packet: self._arrive(p))
+
+    def _admit(self, wire_bytes: int, now: float) -> float:
+        """Book ``wire_bytes`` onto the wire at ``now``; return arrival time.
+
+        All state arithmetic, attribution, and telemetry of packet
+        admission live here, shared verbatim between the per-packet
+        exact path (:meth:`send`) and the :mod:`repro.netsim.fastpath`
+        engine — which is what makes the two paths bit-identical.
+
+        This is the hottest function in the simulator (called once per
+        packet per link); it is written with branches instead of
+        ``max()`` calls and gates every telemetry-only computation, but
+        the floating-point operations and their order are unchanged.
+        """
+        busy = self._busy_until
+        if busy > now:
+            queue_wait = busy - now
+            charged = self._queue_charged_until
+            frontier = now if now > charged else charged
+            queue_charge = busy - frontier if busy > frontier else 0.0
+            if charged < busy:
+                self._queue_charged_until = busy
+            eligible = busy
+        else:
+            queue_wait = 0.0
+            queue_charge = 0.0
+            eligible = now
+        start = eligible
+        shaper = self.shaper
+        if shaper is not None:
+            shaped = shaper.earliest_start(wire_bytes, start)
+            if shaped > start:
+                start = shaped
+            shaper.consume(wire_bytes, start)
+        throttle_wait = start - eligible
+        tx_time = wire_bytes * 8.0 / self.rate_bps
+        telemetry = obs._active  # obs.active() sans the call, per packet
+        enabled = telemetry.enabled
+        causes_on = enabled and telemetry.causes_on
         impair_wait = 0.0
         flap_wait = jitter_wait = recovery_wait = 0.0
-        if self.impairment is not None:
-            impairment = self.impairment
+        impairment = self.impairment
+        if impairment is not None:
             if causes_on:
                 flap_before = impairment.flap_defer_s
                 jitter_before = impairment.jitter_added_s
@@ -134,11 +186,23 @@ class Link:
                 recovery_wait = impairment.recovery_added_s - recovery_before
             start = impaired_start
             tx_time += recovery
-        self._busy_until = start + tx_time
+        if start > eligible:
+            # The wire sits idle over [eligible, start): remember the gap
+            # so utilization does not count it as pending work, and move
+            # the queue-charge frontier past it so the next packet's wait
+            # across the gap stays charged to throttle/flap/jitter (it
+            # was, above) rather than re-charged to link.queue.
+            self._gaps.append((eligible, start))
+            if self._queue_charged_until < start:
+                self._queue_charged_until = start
+        busy = start + tx_time
+        self._busy_until = busy
         self._busy_time_scheduled += tx_time
-        self.bytes_carried += packet.wire_bytes
+        self.bytes_carried += wire_bytes
         self.packets_carried += 1
-        arrival = self._busy_until + self.delay_s
+        arrival = busy + self.delay_s
+        if not enabled:
+            return arrival
         if causes_on:
             causes = telemetry.causes
             recovered_share = min(queue_charge, self._recovery_backlog_s)
@@ -156,14 +220,13 @@ class Link:
             if recovery_wait > 0.0:
                 causes.add("link.loss_recovery", recovery_wait)
                 self._recovery_backlog_s += recovery_wait
-        if telemetry.enabled and telemetry.health_on and now > 0.0:
-            pending = max(0.0, self._busy_until - now)
-            completed = self._busy_time_scheduled - pending
+        if telemetry.health_on and now > 0.0:
+            completed = self._busy_time_scheduled - self._pending_tx_time(now)
             telemetry.health.check(
                 "link.utilization_bounded", completed <= now + 1e-9,
                 f"{self.name}: {completed:.3f}s busy in {now:.3f}s elapsed",
             )
-        if telemetry.enabled and telemetry.metrics_on:
+        if telemetry.metrics_on:
             metrics = telemetry.metrics
             metrics.counter(
                 "netsim_link_packets_total", "Packets entering the link",
@@ -172,7 +235,7 @@ class Link:
             metrics.counter(
                 "netsim_link_bytes_total", "Wire bytes entering the link",
                 link=self.name,
-            ).inc(packet.wire_bytes)
+            ).inc(wire_bytes)
             metrics.histogram(
                 "netsim_link_queue_delay_seconds",
                 "Serialization-queue wait per packet", link=self.name,
@@ -188,7 +251,7 @@ class Link:
                     "Injected loss-recovery/jitter/flap delay",
                     link=self.name,
                 ).inc(impair_wait)
-        self.loop.schedule_at(arrival, lambda p=packet: self._arrive(p))
+        return arrival
 
     def _arrive(self, packet: Packet) -> None:
         if self.deliver is None:

@@ -11,7 +11,7 @@ in :mod:`repro.capture.reconstruct` needs (it mirrors what wireshark's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 #: Maximum segment size used by connections, in bytes (typical TCP MSS on
 #: an Ethernet path).
@@ -42,6 +42,10 @@ class Packet:
     chunk: Optional[bytes] = None
     #: Filled by the connection layer: time the packet entered the network.
     sent_at: float = 0.0
+    #: Pre-sorted ``annotations.items()`` — set by the fast path, which
+    #: sorts once per message instead of once per capture record.  When
+    #: present it must equal ``sorted(annotations.items())``.
+    ann_items: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     @property
     def wire_bytes(self) -> int:
@@ -49,10 +53,14 @@ class Packet:
         return self.payload_bytes + HEADER_BYTES
 
 
-@dataclass(frozen=True)
-class PacketRecord:
+class PacketRecord(NamedTuple):
     """One line of a tcpdump-like capture: an observed packet at a capture
-    point, with its observation timestamp."""
+    point, with its observation timestamp.
+
+    A named tuple rather than a frozen dataclass: captures create one
+    record per packet per tapped link, and tuple construction is the
+    cheapest immutable snapshot Python offers.
+    """
 
     timestamp: float
     flow_id: int
@@ -68,21 +76,33 @@ class PacketRecord:
     chunk: Optional[bytes] = None
 
     @staticmethod
-    def of(packet: Packet, timestamp: float, direction: str) -> "PacketRecord":
-        """Snapshot ``packet`` as observed at ``timestamp``."""
+    def of(
+        packet: Packet,
+        timestamp: float,
+        direction: str,
+        keep_payload: bool = True,
+    ) -> "PacketRecord":
+        """Snapshot ``packet`` as observed at ``timestamp``.
+
+        ``keep_payload=False`` drops the byte slice (a capture without
+        payloads, like ``tcpdump -s 96``)."""
+        annotations = packet.ann_items
+        if annotations is None:
+            # Keys are unique, so a plain tuple sort equals key-sorted order.
+            annotations = tuple(sorted(packet.annotations.items()))
         return PacketRecord(
-            timestamp=timestamp,
-            flow_id=packet.flow_id,
-            seq=packet.seq,
-            payload_bytes=packet.payload_bytes,
-            wire_bytes=packet.wire_bytes,
-            is_ack=packet.is_ack,
-            direction=direction,
-            message_id=packet.message_id,
-            message_offset=packet.message_offset,
-            message_total=packet.message_total,
-            annotations=tuple(sorted(packet.annotations.items(), key=lambda kv: kv[0])),
-            chunk=packet.chunk,
+            timestamp,
+            packet.flow_id,
+            packet.seq,
+            packet.payload_bytes,
+            packet.payload_bytes + HEADER_BYTES,
+            packet.is_ack,
+            direction,
+            packet.message_id,
+            packet.message_offset,
+            packet.message_total,
+            annotations,
+            packet.chunk if keep_payload else None,
         )
 
     def annotation(self, key: str, default: Any = None) -> Any:

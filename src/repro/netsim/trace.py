@@ -9,11 +9,10 @@ The paper captured all video/audio traffic on the tethering desktop with
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.link import Link
-from repro.netsim.packet import Packet, PacketRecord
+from repro.netsim.packet import HEADER_BYTES, Packet, PacketRecord
 
 RecordFilter = Callable[[PacketRecord], bool]
 
@@ -35,14 +34,33 @@ class TraceCapture:
 
     def tap_link(self, link: Link, direction: str) -> None:
         """Start capturing packets entering ``link``."""
+        keep_payload = self.capture_payload
+        records = self.records
+        append = records.append
+        record = PacketRecord
 
         def observer(packet: Packet, timestamp: float, _direction: str = direction) -> None:
-            if not self.enabled:
-                return
-            record = PacketRecord.of(packet, timestamp, _direction)
-            if not self.capture_payload and record.chunk is not None:
-                record = dataclasses.replace(record, chunk=None)
-            self.records.append(record)
+            # Inlined PacketRecord.of: this closure runs once per packet
+            # per tapped link, the hottest capture-side call site.
+            if self.enabled:
+                annotations = packet.ann_items
+                if annotations is None:
+                    annotations = tuple(sorted(packet.annotations.items()))
+                payload = packet.payload_bytes
+                append(record(
+                    timestamp,
+                    packet.flow_id,
+                    packet.seq,
+                    payload,
+                    payload + HEADER_BYTES,
+                    packet.is_ack,
+                    _direction,
+                    packet.message_id,
+                    packet.message_offset,
+                    packet.message_total,
+                    annotations,
+                    packet.chunk if keep_payload else None,
+                ))
 
         link.tap(observer)
         self._taps.append((link, observer))

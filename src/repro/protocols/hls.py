@@ -57,13 +57,49 @@ class MediaPlaylist:
             lines.append("#EXT-X-ENDLIST")
         return "\n".join(lines) + "\n"
 
+    def _state_key(self) -> tuple:
+        """Everything the rendered text depends on.  ``entries`` is a
+        mutable list the window code appends to, so the key snapshots it
+        (entries themselves are frozen)."""
+        return (
+            self.version,
+            self.target_duration_s,
+            self.media_sequence,
+            self.ended,
+            tuple(self.entries),
+        )
+
+    def render_bytes(self) -> bytes:
+        """UTF-8 rendering, cached until any field mutates.
+
+        A live origin answers every playlist poll with the same text
+        until a segment is published; re-rendering per poll was a
+        measurable hot path.  The cache key covers every rendered field,
+        so mutation through any of them invalidates it.
+        """
+        key = self._state_key()
+        cached = self.__dict__.get("_render_cache")
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        data = self.render().encode("utf-8")
+        self.__dict__["_render_cache"] = (key, data)
+        return data
+
     @property
     def nbytes(self) -> int:
-        return len(self.render().encode("utf-8"))
+        return len(self.render_bytes())
 
     @classmethod
     def parse(cls, text: str) -> "MediaPlaylist":
-        """Parse M3U8 text back into a playlist."""
+        """Parse M3U8 text back into a playlist.
+
+        Two passes: header tags first, then entries.  RFC 8216 allows
+        #EXT-X-MEDIA-SEQUENCE anywhere before the first media segment it
+        applies to, so per-entry sequence numbers cannot be assigned
+        until the whole header is known — a single pass numbered entries
+        from whatever value had been *seen so far* (0 if the tag came
+        after the first #EXTINF).
+        """
         lines = [line.strip() for line in text.splitlines() if line.strip()]
         if not lines or lines[0] != "#EXTM3U":
             raise ValueError("not an M3U8 playlist (missing #EXTM3U)")
@@ -71,8 +107,7 @@ class MediaPlaylist:
         sequence = 0
         version = 3
         ended = False
-        entries: List[PlaylistEntry] = []
-        pending_duration: Optional[float] = None
+        # Pass 1: header/global tags, wherever they appear.
         for line in lines[1:]:
             if line.startswith("#EXT-X-TARGETDURATION:"):
                 target = float(line.split(":", 1)[1])
@@ -80,12 +115,16 @@ class MediaPlaylist:
                 sequence = int(line.split(":", 1)[1])
             elif line.startswith("#EXT-X-VERSION:"):
                 version = int(line.split(":", 1)[1])
-            elif line.startswith("#EXTINF:"):
-                pending_duration = float(line.split(":", 1)[1].rstrip(",").split(",")[0])
             elif line == "#EXT-X-ENDLIST":
                 ended = True
+        # Pass 2: media entries, numbered from the final media sequence.
+        entries: List[PlaylistEntry] = []
+        pending_duration: Optional[float] = None
+        for line in lines[1:]:
+            if line.startswith("#EXTINF:"):
+                pending_duration = float(line.split(":", 1)[1].rstrip(",").split(",")[0])
             elif line.startswith("#"):
-                continue  # unknown tag, per spec must be ignored
+                continue  # header tag (pass 1) or unknown tag, ignored here
             else:
                 if pending_duration is None:
                     raise ValueError(f"segment URI {line!r} without #EXTINF")
@@ -121,6 +160,9 @@ class LiveWindow:
         self._entries: List[PlaylistEntry] = []
         self._next_sequence = 0
         self.ended = False
+        #: Rendered playlist shared by every poll between mutations.
+        #: Consumers treat playlists as read-only snapshots.
+        self._playlist_cache: Optional[MediaPlaylist] = None
 
     def add_segment(self, uri: str, duration_s: float) -> PlaylistEntry:
         """Publish a newly completed segment."""
@@ -131,24 +173,37 @@ class LiveWindow:
         self._entries.append(entry)
         if len(self._entries) > self.window_size:
             self._entries.pop(0)
+        self._playlist_cache = None
         return entry
 
     def end_stream(self) -> None:
         self.ended = True
+        self._playlist_cache = None
 
     @property
     def newest_sequence(self) -> int:
         return self._next_sequence - 1
 
     def playlist(self) -> MediaPlaylist:
-        """The playlist a client fetching right now would receive."""
+        """The playlist a client fetching right now would receive.
+
+        A live origin is polled once per target duration by *every*
+        viewer; between mutations all polls see the same text, so the
+        built playlist (and through it the rendered bytes) is cached and
+        rebuilt only when a segment is published or the stream ends.
+        """
+        cached = self._playlist_cache
+        if cached is not None:
+            return cached
         media_sequence = self._entries[0].sequence if self._entries else self._next_sequence
-        return MediaPlaylist(
+        built = MediaPlaylist(
             target_duration_s=self.target_duration_s,
             media_sequence=media_sequence,
             entries=list(self._entries),
             ended=self.ended,
         )
+        self._playlist_cache = built
+        return built
 
     def entries_after(self, sequence: int) -> Sequence[PlaylistEntry]:
         """Segments newer than ``sequence`` still inside the window."""

@@ -24,7 +24,11 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.media.bitstream import FrameStreamParser
+from repro.media.bitstream import (
+    FrameStreamParser,
+    encoded_audio_size,
+    encoded_video_size,
+)
 from repro.media.frames import AudioFrame, EncodedFrame
 from repro.netsim.connection import Connection, Message
 from repro.protocols import flv
@@ -233,13 +237,24 @@ class RtmpPushSession:
     def push_frame(self, frame: Union[EncodedFrame, AudioFrame]) -> Message:
         """Chunk and transmit one media frame right now."""
         if isinstance(frame, EncodedFrame):
-            rtmp_msg = video_message(frame)
             kind = "video"
+            if self.byte_fidelity:
+                data = chunk_message(video_message(frame))
+                nbytes = len(data)
+            else:
+                # Size-only fast path: the chunked wire size is a pure
+                # function of the payload length (1 FLV marker byte plus
+                # the elementary-stream record), so skip serializing.
+                data = None
+                nbytes = _chunked_payload_size(1 + encoded_video_size(frame))
         else:
-            rtmp_msg = audio_message(frame)
             kind = "audio"
-        data = chunk_message(rtmp_msg) if self.byte_fidelity else None
-        nbytes = len(data) if data is not None else _chunked_size(rtmp_msg)
+            if self.byte_fidelity:
+                data = chunk_message(audio_message(frame))
+                nbytes = len(data)
+            else:
+                data = None
+                nbytes = _chunked_payload_size(1 + encoded_audio_size(frame))
         message = Message(
             payload=frame,
             nbytes=nbytes,
@@ -256,10 +271,17 @@ class RtmpPushSession:
         return self.connection.send(message)
 
 
+def _chunked_payload_size(payload_len: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+    """Wire size of a ``payload_len``-byte message after chunking."""
+    n_continuations = (payload_len - 1) // chunk_size
+    if n_continuations < 0:
+        n_continuations = 0
+    return 12 + payload_len + n_continuations
+
+
 def _chunked_size(message: RtmpMessage, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
     """Wire size of a message after chunking, without serializing it."""
-    n_continuations = max(0, (len(message.payload) - 1) // chunk_size)
-    return 12 + len(message.payload) + n_continuations
+    return _chunked_payload_size(len(message.payload), chunk_size)
 
 
 class RtmpReceiver:

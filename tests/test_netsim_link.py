@@ -164,3 +164,74 @@ class TestTokenBucketShaper:
             TokenBucketShaper(rate_bps=0, bucket_bytes=100)
         with pytest.raises(ValueError):
             TokenBucketShaper(rate_bps=100, bucket_bytes=0)
+
+
+class TestDeferralGapAccounting:
+    """Regression: a shaper/impairment-deferred start used to inflate
+    ``_busy_until`` silently, so (a) the *next* packet's wait across the
+    idle gap was charged to ``link.queue`` instead of ``link.throttle``
+    in the causes ledger, and (b) ``utilization_until_now`` counted the
+    idle gap as pending transmission work, undercounting completed busy
+    time."""
+
+    def make_throttled_link(self, loop):
+        # Wire 1000 B/s; shaper 100 B/s with a 100-byte bucket, so each
+        # 100-wire-byte packet after the first waits ~0.9 s on tokens.
+        return Link(
+            loop, rate_bps=8_000.0, delay_s=0.0,
+            shaper=TokenBucketShaper(rate_bps=800.0, bucket_bytes=100),
+        )
+
+    def send_three(self, loop, link):
+        for seq in range(3):
+            link.send(make_packet(nbytes=100 - HEADER_BYTES, seq=seq))
+
+    def test_gap_not_charged_to_queue(self):
+        from repro import obs
+
+        obs.deactivate()
+        obs.ensure_active(causes=True)
+        try:
+            loop = EventLoop()
+            link = self.make_throttled_link(loop)
+            link.deliver = lambda p: None
+            self.send_three(loop, link)
+            totals = obs.active().causes.totals()
+        finally:
+            obs.deactivate()
+        # p1: starts at 0 (full bucket), tx 0.1 s.  p2: queue-waits until
+        # 0.1, then throttles until 1.0, tx to 1.1.  p3: queue-waits
+        # until 1.1, throttles until 2.0.  Queue seconds are the two
+        # serialization tails (0.1 each); the 2 x 0.9 s token waits are
+        # throttle.  The old code charged p3's wait across p2's idle
+        # throttle gap (0.9 s) to link.queue as well.
+        assert totals["link.throttle"] == pytest.approx(1.8)
+        assert totals["link.queue"] == pytest.approx(0.2)
+
+    def test_utilization_excludes_idle_gap(self):
+        loop = EventLoop()
+        link = self.make_throttled_link(loop)
+        link.deliver = lambda p: None
+        self.send_three(loop, link)
+        # Horizon: tx [0, 0.1], idle gap (0.1, 1.0), tx [1.0, 1.1], idle
+        # gap (1.1, 2.0), tx [2.0, 2.1].
+        loop.run_until(1.1)
+        # Completed transmission by 1.1 s: 0.2 s of actual wire time.
+        # The old code computed pending = busy_until - now = 1.0 s
+        # (including the 0.9 s idle gap), clamping utilization to 0.
+        assert link.utilization_until_now() == pytest.approx(0.2 / 1.1)
+        loop.run_until(2.1)
+        assert link.utilization_until_now() == pytest.approx(0.3 / 2.1)
+
+    def test_unshaped_link_accounting_unchanged(self):
+        loop = EventLoop()
+        link = Link(loop, rate_bps=8_000.0, delay_s=0.0)
+        link.deliver = lambda p: None
+        link.send(make_packet(nbytes=1000 - HEADER_BYTES, seq=0))
+        link.send(make_packet(nbytes=1000 - HEADER_BYTES, seq=1))
+        # Back-to-back transmissions keep the wire busy 0-2 s.
+        loop.run_until(1.5)
+        assert link.utilization_until_now() == pytest.approx(1.0)
+        loop.run_until(4.0)
+        assert link.utilization_until_now() == pytest.approx(2.0 / 4.0)
+        assert not link._gaps

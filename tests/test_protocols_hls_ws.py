@@ -189,3 +189,124 @@ class TestWebSocket:
     def test_chat_json_without_avatar(self):
         message = chat_message_json("bob", "yo", has_avatar=False)
         assert "profile_image_url" not in message
+
+
+class TestParseTagOrder:
+    """Regression: per-entry sequences must come from the *final*
+    #EXT-X-MEDIA-SEQUENCE, wherever the tag sits (RFC 8216 allows it
+    anywhere before the segment it applies to).  The old single-pass
+    parser numbered entries from whatever value had been seen so far."""
+
+    HEADER = "#EXT-X-VERSION:3\n#EXT-X-TARGETDURATION:4\n"
+    SEQ_TAG = "#EXT-X-MEDIA-SEQUENCE:17\n"
+    ENTRIES = "#EXTINF:3.600,\nseg17.ts\n#EXTINF:3.600,\nseg18.ts\n"
+
+    def test_sequence_tag_after_first_extinf(self):
+        # Legal M3U8: the media-sequence tag between the two entries.
+        text = (
+            "#EXTM3U\n" + self.HEADER
+            + "#EXTINF:3.600,\nseg17.ts\n"
+            + self.SEQ_TAG
+            + "#EXTINF:3.600,\nseg18.ts\n"
+        )
+        parsed = MediaPlaylist.parse(text)
+        assert parsed.media_sequence == 17
+        assert [e.sequence for e in parsed.entries] == [17, 18]
+
+    def test_sequence_tag_last(self):
+        text = "#EXTM3U\n" + self.HEADER + self.ENTRIES + self.SEQ_TAG
+        parsed = MediaPlaylist.parse(text)
+        assert parsed.media_sequence == 17
+        assert [e.sequence for e in parsed.entries] == [17, 18]
+
+    def test_all_header_permutations_agree(self):
+        import itertools
+
+        blocks = ["#EXT-X-VERSION:3\n", "#EXT-X-TARGETDURATION:4\n", self.SEQ_TAG]
+        reference = None
+        for order in itertools.permutations(blocks):
+            text = "#EXTM3U\n" + "".join(order) + self.ENTRIES
+            parsed = MediaPlaylist.parse(text)
+            key = (
+                parsed.media_sequence,
+                tuple((e.uri, e.sequence) for e in parsed.entries),
+                parsed.version,
+                parsed.target_duration_s,
+            )
+            if reference is None:
+                reference = key
+            assert key == reference
+
+    def test_parse_render_fixed_point(self):
+        playlist = MediaPlaylist(
+            target_duration_s=4.0,
+            media_sequence=17,
+            entries=[
+                PlaylistEntry("seg17.ts", 3.6, 17),
+                PlaylistEntry("seg18.ts", 3.6, 18),
+            ],
+            ended=True,
+        )
+        once = MediaPlaylist.parse(playlist.render())
+        twice = MediaPlaylist.parse(once.render())
+        assert once.render() == twice.render()
+        assert [e.sequence for e in once.entries] == [17, 18]
+
+
+class TestRenderByteCache:
+    """Regression: nbytes re-rendered and re-encoded the playlist on
+    every access; now the bytes are cached and invalidated on any
+    rendered-field mutation."""
+
+    def playlist(self):
+        return MediaPlaylist(
+            target_duration_s=4.0,
+            media_sequence=3,
+            entries=[PlaylistEntry("seg3.ts", 3.6, 3)],
+        )
+
+    def test_cache_hit_returns_same_object(self):
+        playlist = self.playlist()
+        first = playlist.render_bytes()
+        assert playlist.render_bytes() is first
+        assert playlist.nbytes == len(first)
+
+    def test_entry_mutation_invalidates(self):
+        playlist = self.playlist()
+        before = playlist.nbytes
+        playlist.entries.append(PlaylistEntry("seg4-long-name.ts", 3.6, 4))
+        after = playlist.nbytes
+        assert after > before
+        assert playlist.render_bytes() == playlist.render().encode("utf-8")
+
+    def test_ended_mutation_invalidates(self):
+        playlist = self.playlist()
+        before = playlist.nbytes
+        playlist.ended = True
+        assert playlist.nbytes == before + len("#EXT-X-ENDLIST\n")
+
+    def test_media_sequence_mutation_invalidates(self):
+        playlist = self.playlist()
+        playlist.nbytes
+        playlist.media_sequence = 4000
+        assert b"#EXT-X-MEDIA-SEQUENCE:4000" in playlist.render_bytes()
+
+    def test_cached_bytes_match_fresh_render(self):
+        playlist = self.playlist()
+        for _ in range(3):
+            assert playlist.render_bytes() == playlist.render().encode("utf-8")
+
+
+class TestLiveWindowPlaylistCache:
+    def test_playlist_cached_between_mutations(self):
+        window = LiveWindow(target_duration_s=3.6, window_size=3)
+        window.add_segment("seg0.ts", 3.6)
+        first = window.playlist()
+        assert window.playlist() is first
+        window.add_segment("seg1.ts", 3.6)
+        second = window.playlist()
+        assert second is not first
+        assert [e.uri for e in second.entries] == ["seg0.ts", "seg1.ts"]
+        window.end_stream()
+        assert window.playlist() is not second
+        assert window.playlist().ended

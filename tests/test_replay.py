@@ -163,13 +163,23 @@ def _trace_summary(lines):
     }
 
 
-def test_golden_faulted_trace_replays_byte_exact():
+@pytest.mark.parametrize("network_path", ["fast", "exact"])
+def test_golden_faulted_trace_replays_byte_exact(network_path):
     """One faulted session replayed against a stored golden trace: any
     drift in fault sampling, event ordering, or packetization shows up
-    as a digest mismatch.  Regenerate (after an *intended* change) with
+    as a digest mismatch.  Runs under both the segment-granularity fast
+    path and the exact per-packet path — the same fixture must match
+    either way.  Regenerate (after an *intended* change) with
     ``PYTHONPATH=src python tests/test_replay.py``."""
+    from repro.netsim import fastpath
+
     expected = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
-    summary = _trace_summary(_canonical_trace(_run_golden_session().capture))
+    if network_path == "exact":
+        with fastpath.exact_network():
+            artifacts = _run_golden_session()
+    else:
+        artifacts = _run_golden_session()
+    summary = _trace_summary(_canonical_trace(artifacts.capture))
     assert summary["packet_count"] == expected["packet_count"]
     assert summary["head"] == expected["head"]
     assert summary["tail"] == expected["tail"]

@@ -1,0 +1,126 @@
+"""Tests for encode-once RTMP fan-out: N viewers, one driver/encoder."""
+
+import random
+
+from repro.media.frames import EncodedFrame
+from repro.netsim.connection import Connection
+from repro.netsim.events import EventLoop
+from repro.netsim.topology import Network
+from repro.protocols.rtmp import RtmpPushSession
+from repro.service.broadcast import sample_broadcast
+from repro.service.delivery import LiveSourceDriver, RtmpFanout, UplinkModel
+from repro.service.geo import POPULATION_CENTERS, GeoPoint
+
+
+def make_broadcast(seed=1, mean_viewers=10.0, duration=3600.0):
+    b = sample_broadcast(random.Random(seed), 0.0, GeoPoint(40.0, -74.0),
+                         POPULATION_CENTERS[0])
+    b.mean_viewers = mean_viewers
+    b.duration_s = duration
+    return b
+
+
+def wire_fanout(n_viewers=3, slow_first_bps=None, backpressure_bytes=256 * 1024):
+    """One ingest server fanning one broadcast out to ``n_viewers`` phones.
+
+    ``slow_first_bps`` throttles viewer 0's downlink so backpressure has
+    someone to act on.
+    """
+    loop = EventLoop()
+    net = Network(loop)
+    server = net.host("ingest")
+    conns, received = [], []
+    for i in range(n_viewers):
+        phone = net.host(f"phone{i}")
+        rate = slow_first_bps if (slow_first_bps is not None and i == 0) else 50e6
+        net.duplex(server, phone, rate_bps=rate, delay_s=0.02)
+        fwd, rev = net.duplex_paths("ingest", f"phone{i}")
+        bucket = []
+        conns.append(Connection(
+            loop, fwd, rev,
+            on_message=lambda m, t, b=bucket: b.append((m.payload, t)),
+        ))
+        received.append(bucket)
+    # Jitter-free, outage-free uplink: frames reach the ingest in capture
+    # order, so any index gap a viewer sees is a backpressure shed.
+    driver = LiveSourceDriver(
+        loop, make_broadcast(), age_at_join=10.0, horizon_s=10.0,
+        generate_from=7.0,
+        uplink=UplinkModel(jitter_s=0.0, outage_rate_per_s=0.0),
+    )
+    fanout = RtmpFanout(driver, backpressure_bytes=backpressure_bytes)
+    clients = [fanout.attach(RtmpPushSession(conn)) for conn in conns]
+    driver.start()
+    return loop, driver, fanout, clients, received
+
+
+def video_frames(bucket):
+    return [f for f, _ in bucket if isinstance(f, EncodedFrame)]
+
+
+class TestRtmpFanout:
+    def test_viewers_share_the_same_encoded_frames(self):
+        """Encode-once: every viewer receives the *same* frame objects —
+        the encoder ran exactly once for N viewers."""
+        loop, driver, fanout, clients, received = wire_fanout(n_viewers=3)
+        for client in clients:
+            client.start()
+        loop.run_until(8.0)
+        videos = [video_frames(bucket) for bucket in received]
+        assert all(len(v) > 100 for v in videos)
+        for a, b, c in zip(*videos):
+            assert a is b and b is c
+
+    def test_every_viewer_joins_on_a_keyframe(self):
+        loop, _, _, clients, received = wire_fanout(n_viewers=2)
+        for client in clients:
+            client.start()
+        loop.run_until(1.0)
+        for bucket in received:
+            video = video_frames(bucket)
+            assert video and video[0].frame_type == "I"
+
+    def test_unstarted_client_receives_nothing(self):
+        loop, _, _, clients, received = wire_fanout(n_viewers=2)
+        clients[0].start()
+        loop.run_until(5.0)
+        assert received[0]
+        assert received[1] == []
+
+    def test_slow_viewer_sheds_while_fast_viewer_keeps_everything(self):
+        loop, _, _, clients, received = wire_fanout(
+            n_viewers=2, slow_first_bps=150e3, backpressure_bytes=24 * 1024,
+        )
+        for client in clients:
+            client.start()
+        loop.run_until(9.0)
+        slow, fast = clients
+        assert slow.frames_dropped > 0
+        assert fast.frames_dropped == 0
+        assert slow.frames_delivered < fast.frames_delivered
+
+    def test_shed_resumes_on_a_keyframe(self):
+        loop, _, _, clients, received = wire_fanout(
+            n_viewers=2, slow_first_bps=150e3, backpressure_bytes=24 * 1024,
+        )
+        for client in clients:
+            client.start()
+        loop.run_until(9.0)
+        video = video_frames(received[0])
+        assert len(video) > 1
+        for prev, cur in zip(video, video[1:]):
+            if cur.index != prev.index + 1:  # a shed gap
+                assert cur.frame_type == "I"
+
+    def test_detach_stops_delivery(self):
+        loop, _, fanout, clients, received = wire_fanout(n_viewers=2)
+        for client in clients:
+            client.start()
+        loop.run_until(3.0)
+        fanout.detach(clients[1])
+        fanout.detach(clients[1])  # idempotent
+        count_at_detach = len(received[1])
+        loop.run_until(8.0)
+        assert len(received[0]) > len(received[1])
+        # Frames already inside the network still land; nothing new is fed.
+        assert clients[1].frames_delivered <= count_at_detach + 64
