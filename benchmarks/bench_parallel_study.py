@@ -20,6 +20,7 @@ import argparse
 import json
 import os
 import pathlib
+import resource
 import time
 
 from repro.core.config import StudyConfig
@@ -135,6 +136,9 @@ def main():
                     prior_sessions / prior["seconds"], 3),
                 "cpu_count": existing.get("cpu_count"),
             })
+    # ru_maxrss is KB on Linux; the whole-process high-water mark, so it
+    # covers every run above, not any single one.
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     entry = {
         "label": "current",
         "config": config,
@@ -144,6 +148,7 @@ def main():
         "exact_serial_seconds": round(exact_seconds, 3),
         "fast_exact_identical": exact_identical,
         "cpu_count": os.cpu_count(),
+        "peak_rss_kb": peak_rss_kb,
     }
     comparable = [
         prior for prior in trajectory
@@ -162,6 +167,7 @@ def main():
         "benchmark": "parallel_study",
         "config": config,
         "cpu_count": os.cpu_count(),
+        "peak_rss_kb": peak_rss_kb,
         "runs": runs,
         "exact": {
             "seconds": round(exact_seconds, 3),

@@ -1,0 +1,269 @@
+"""Population-scale studies: the mesoscale world anchored by exact sessions.
+
+:mod:`repro.world` advances viewer cohorts with closed-form aggregate
+dynamics and plans a stratified sample of members to promote to full
+fidelity.  This module supplies the two halves the world layer cannot
+import itself (it sits *below* ``core`` in the layer DAG):
+
+* :func:`run_expansions` — the injected expansion runner.  A module-level
+  callable (pickled by reference into pool workers) that rebuilds each
+  sampled member's exact :class:`~repro.core.session.SessionSetup` and
+  runs it through the unchanged per-packet simulator — same
+  :class:`~repro.service.ingest.IngestPool` reconstruction, faults, and
+  netsim fast path as :mod:`repro.core.parallel` workers;
+* :class:`PopulationStudy` — the orchestration:
+  serial population sampling in the parent (phase 1, exactly like
+  :meth:`~repro.core.study.AutomatedViewingStudy.run_batch`), sharded
+  world advancement over the process pool (phase 2), telemetry snapshot
+  merge, and a :class:`PopulationResult` joining the exact population
+  facts, the cohort aggregates, and the anchored session dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.automation.devices import GALAXY_S3, GALAXY_S4, DeviceProfile
+from repro.core.config import StudyConfig
+from repro.core.parallel import SessionResult
+from repro.core.session import SessionSetup, ViewingSession
+from repro.core.study import StudyDataset
+from repro.faults.plan import FaultPlan
+from repro.service.ingest import IngestPool
+from repro.service.selection import DeliveryProtocol
+from repro.util.rng import Seedable, child_rng
+from repro.world.cohorts import CohortAggregate
+from repro.world.popularity import (
+    Population,
+    PopulationParameters,
+    build_broadcast,
+    sample_population,
+)
+from repro.world.sampler import ExpansionRequest, joinable_min_duration_s
+from repro.world.shards import WorldContext, WorldResult, run_world
+
+#: Device roster by name — expansion requests carry the name (a plain
+#: string pickles smaller and keeps the world layer free of automation
+#: imports).
+_DEVICES_BY_NAME: Dict[str, DeviceProfile] = {
+    GALAXY_S3.name: GALAXY_S3,
+    GALAXY_S4.name: GALAXY_S4,
+}
+
+
+def setup_for(
+    world_seed: Seedable,
+    request: ExpansionRequest,
+    faults: Optional[FaultPlan] = None,
+) -> SessionSetup:
+    """Rebuild the exact :class:`SessionSetup` a sampled member denotes.
+
+    Deterministic in ``(world_seed, request)``: the broadcaster is
+    re-materialized from its index (same child stream, same duration
+    floor as cohort formation), so the standalone setup equals the one
+    the sharded world ran — the property the bit-identity suite pins.
+    """
+    broadcast = build_broadcast(
+        world_seed,
+        request.broadcaster_index,
+        request.audience,
+        joinable_min_duration_s(request.watch_seconds),
+    )
+    return SessionSetup(
+        broadcast=broadcast,
+        age_at_join=request.age_at_join_s,
+        protocol=DeliveryProtocol(request.protocol_value),
+        device=_DEVICES_BY_NAME[request.device_name],
+        bandwidth_limit_mbps=request.bandwidth_limit_mbps,
+        watch_seconds=request.watch_seconds,
+        chat_ui_on=True,
+        cache_avatars=False,
+        seed=request.session_seed,
+        faults=faults,
+    )
+
+
+def run_expansions(
+    world_seed: Seedable,
+    requests: Sequence[ExpansionRequest],
+    faults: Optional[FaultPlan] = None,
+    metrics_enabled: bool = False,
+    causes_enabled: bool = False,
+    health_enabled: bool = False,
+) -> Tuple[List[SessionResult], Optional[List[dict]]]:
+    """Run a shard's expansion requests at full fidelity, in order.
+
+    The injected runner for :class:`~repro.world.shards.WorldContext`.
+    The ingest pool is rebuilt from ``child_rng(world_seed,
+    "ingest-pool")`` — the identical frozen fleet every study process
+    holds — and results ship back in the slim picklable
+    :class:`~repro.core.parallel.SessionResult` form.
+
+    Telemetry is captured **per session** in a private registry whose
+    snapshot ships back alongside the result (surface name -> snapshot,
+    one dict per session; ``None`` when every surface is off).  Finer
+    than :mod:`repro.core.parallel`'s per-chunk snapshots on purpose:
+    the parent folds session snapshots in global session order, so the
+    float accumulation tree — and with it the merged registry, byte for
+    byte — is independent of shard *and* worker count.  Session-level
+    tracing spans are not collected here for the same reason.
+    """
+    ingest = IngestPool(child_rng(world_seed, "ingest-pool"))
+    telemetry_on = metrics_enabled or causes_enabled or health_enabled
+    results: List[SessionResult] = []
+    snapshots: Optional[List[dict]] = [] if telemetry_on else None
+    for request in requests:
+        previous = obs.active()
+        telemetry: Optional[obs.Telemetry] = None
+        if telemetry_on:
+            telemetry = obs.activate(obs.Telemetry(
+                metrics=metrics_enabled,
+                tracing=False,
+                profiling=False,
+                causes=causes_enabled,
+                health=health_enabled,
+            ))
+        try:
+            artifacts = ViewingSession(
+                setup_for(world_seed, request, faults), ingest=ingest
+            ).run()
+        finally:
+            if telemetry is not None:
+                obs.activate(previous) if previous.enabled else obs.deactivate()
+        results.append(
+            SessionResult(
+                qoe=artifacts.qoe,
+                avatar_bytes=artifacts.avatar_bytes,
+                down_bytes=artifacts.total_down_bytes,
+            )
+        )
+        if telemetry is not None and snapshots is not None:
+            snapshot: dict = {}
+            if metrics_enabled:
+                snapshot["metrics"] = telemetry.metrics.snapshot()
+            if causes_enabled:
+                snapshot["causes"] = telemetry.causes.snapshot()
+            if health_enabled:
+                snapshot["health"] = telemetry.health.snapshot()
+            snapshots.append(snapshot)
+    return results, snapshots
+
+
+@dataclass
+class PopulationResult:
+    """A completed population-scale study."""
+
+    population: Population
+    world: WorldResult
+    #: Full-fidelity sampled sessions, in global broadcaster-index order
+    #: — the same :class:`StudyDataset` shape every figure driver reads.
+    sampled: StudyDataset = field(default_factory=StudyDataset)
+
+    @property
+    def totals(self) -> Dict[str, CohortAggregate]:
+        return self.world.totals
+
+    def stall_ratio(self, protocol_value: str) -> float:
+        aggregate = self.world.totals.get(protocol_value)
+        return aggregate.stall_ratio() if aggregate is not None else 0.0
+
+    def mean_join_delay_s(self, protocol_value: str) -> float:
+        aggregate = self.world.totals.get(protocol_value)
+        if aggregate is None or aggregate.sessions <= 0.0:
+            return 0.0
+        return aggregate.join_seconds / aggregate.sessions
+
+
+class PopulationStudy:
+    """Mesoscale study driver: cohort masses + stratified exact anchors.
+
+    Mirrors :class:`~repro.core.study.AutomatedViewingStudy`'s two-phase
+    discipline: population sampling runs serially in the parent (one
+    child stream per broadcaster index, then one global integral
+    apportionment), and the expensive phase — broadcast materialization,
+    cohort advancement, and sampled full-fidelity sessions — fans out
+    over index-sharded workers.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        params: Optional[PopulationParameters] = None,
+    ) -> None:
+        self.config = config
+        self.params = params if params is not None else PopulationParameters()
+        obs.ensure_active(metrics=config.metrics_enabled,
+                          tracing=config.tracing_enabled,
+                          causes=config.causes_enabled,
+                          health=config.health_enabled)
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> PopulationResult:
+        """Advance the whole world and collect the anchored sample."""
+        workers = self.config.workers if workers is None else workers
+        telemetry = obs.active()
+        metrics_on = telemetry.enabled and telemetry.metrics_on
+
+        # ---- phase 1: serial population sampling ------------------------
+        population = sample_population(self.config.seed, self.params)
+        total_viewers = population.total_viewers
+        sample_rate = (
+            self.params.sample_budget / total_viewers if total_viewers else 0.0
+        )
+
+        # ---- phase 2: sharded world advancement -------------------------
+        context = WorldContext(
+            seed=self.config.seed,
+            watch_seconds=self.config.watch_seconds,
+            hls_viewer_threshold=self.config.hls_viewer_threshold,
+            sample_rate=sample_rate,
+            faults=self.config.faults,
+            exact_network=self.config.exact_network,
+            metrics_enabled=metrics_on,
+            causes_enabled=telemetry.enabled and telemetry.causes_on,
+            health_enabled=telemetry.enabled and telemetry.health_on,
+            runner=run_expansions,
+        )
+        world = run_world(
+            context,
+            population.viewers_by_broadcaster,
+            workers=workers,
+            shards=shards,
+        )
+        for snapshot in world.telemetry_snapshots:
+            if snapshot.get("metrics") is not None:
+                telemetry.metrics.merge_from(snapshot["metrics"])
+            if snapshot.get("causes") is not None:
+                telemetry.causes.merge_from(snapshot["causes"])
+            if snapshot.get("health") is not None:
+                telemetry.health.merge_from(snapshot["health"])
+
+        sampled = StudyDataset()
+        for result in world.session_results:
+            sampled.sessions.append(result.qoe)
+            sampled.avatar_bytes.append(result.avatar_bytes)
+            sampled.down_bytes.append(result.down_bytes)
+
+        if metrics_on:
+            metrics = telemetry.metrics
+            metrics.counter(
+                "population_viewers_total",
+                "Concurrent viewers advanced in cohort form",
+            ).inc(total_viewers)
+            metrics.counter(
+                "population_broadcasters_total",
+                "Broadcasters materialized for cohort advancement",
+            ).inc(population.n_broadcasters)
+            metrics.counter(
+                "population_sampled_sessions_total",
+                "Cohort members promoted to full-fidelity sessions",
+            ).inc(len(sampled.sessions))
+
+        return PopulationResult(
+            population=population, world=world, sampled=sampled
+        )

@@ -41,6 +41,7 @@ from repro import obs
 from repro.experiments import (
     fig1_crawl,
     fig2_usage,
+    fig2pop,
     fig3_loss,
     fig3_stalls,
     fig4_latency,
@@ -63,21 +64,25 @@ from repro.obs.export import (
     write_trace_jsonl,
 )
 
-#: name -> (needs_workbench, runner)
+#: name -> (needs_workbench, runner).  Runners receive the shared
+#: workbench plus the parsed CLI namespace, so population-scale drivers
+#: can read their own flags (``--viewers``) without widening every
+#: signature.
 DRIVERS: Dict[str, tuple] = {
-    "table1": (False, lambda wb, seed: table1_api.run(seed=seed)),
-    "fig1": (True, lambda wb, seed: fig1_crawl.run(wb)),
-    "fig2": (True, lambda wb, seed: fig2_usage.run(wb)),
-    "fig3": (True, lambda wb, seed: fig3_stalls.run(wb)),
-    "fig3loss": (True, lambda wb, seed: fig3_loss.run(wb)),
-    "fig4": (True, lambda wb, seed: fig4_latency.run(wb)),
-    "fig5": (True, lambda wb, seed: fig5_delivery.run(wb)),
-    "fig6": (True, lambda wb, seed: fig6_quality.run(wb)),
-    "fig7": (False, lambda wb, seed: fig7_power.run(seed=seed)),
-    "ttests": (True, lambda wb, seed: sec5_ttests.run(wb)),
-    "protocol": (True, lambda wb, seed: sec5_protocol.run(wb)),
-    "chat": (False, lambda wb, seed: sec51_chat.run(seed=seed)),
-    "codecs": (False, lambda wb, seed: sec52_codecs.run(seed=seed)),
+    "table1": (False, lambda wb, args: table1_api.run(seed=args.seed)),
+    "fig1": (True, lambda wb, args: fig1_crawl.run(wb)),
+    "fig2": (True, lambda wb, args: fig2_usage.run(wb)),
+    "fig2pop": (True, lambda wb, args: fig2pop.run(wb, viewers=args.viewers)),
+    "fig3": (True, lambda wb, args: fig3_stalls.run(wb)),
+    "fig3loss": (True, lambda wb, args: fig3_loss.run(wb)),
+    "fig4": (True, lambda wb, args: fig4_latency.run(wb)),
+    "fig5": (True, lambda wb, args: fig5_delivery.run(wb)),
+    "fig6": (True, lambda wb, args: fig6_quality.run(wb)),
+    "fig7": (False, lambda wb, args: fig7_power.run(seed=args.seed)),
+    "ttests": (True, lambda wb, args: sec5_ttests.run(wb)),
+    "protocol": (True, lambda wb, args: sec5_protocol.run(wb)),
+    "chat": (False, lambda wb, args: sec51_chat.run(seed=args.seed)),
+    "codecs": (False, lambda wb, args: sec52_codecs.run(seed=args.seed)),
 }
 
 #: Module-style aliases, so ``fig3_stalls`` works where ``fig3`` does.
@@ -85,6 +90,7 @@ ALIASES: Dict[str, str] = {
     "table1_api": "table1",
     "fig1_crawl": "fig1",
     "fig2_usage": "fig2",
+    "fig2_pop": "fig2pop",
     "fig3_stalls": "fig3",
     "fig3_loss": "fig3loss",
     "fig4_latency": "fig4",
@@ -115,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="unlimited-bandwidth session count")
     parser.add_argument("--per-limit", type=int, default=6,
                         help="sessions per bandwidth limit in the sweep")
+    parser.add_argument(
+        "--viewers", type=int, default=100_000,
+        help="concurrent viewers in the population-scale world "
+             "(fig2pop only; cohort dynamics keep millions tractable)",
+    )
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for study session execution (datasets are "
@@ -216,7 +227,7 @@ def main(argv: Optional[list] = None) -> int:
         for name in names:
             _, runner = DRIVERS[name]
             print(f"=== {name} ===")
-            print(runner(workbench, args.seed).render())
+            print(runner(workbench, args).render())
             print()
         if telemetry is not None:
             if args.trace_out is not None:

@@ -20,6 +20,7 @@ crawler/core -> experiments/analysis``)::
     automation, capture   testbed scripting / traffic reconstruction
     service               the simulated Periscope backend
     player                client-side playback
+    world                 mesoscale viewer cohorts over the service
     crawler, core         crawls and study orchestration
     analysis              stats + terminal figures
     experiments, lint     entry points and tooling
@@ -29,9 +30,10 @@ crawler/core -> experiments/analysis``)::
 ``util`` — and not ``util.rng`` even then, so telemetry can never touch
 the experiment seed tree.  The O-rules pin that down.
 
-Process-level parallelism is likewise pinned to one place:
-``repro.core.parallel`` (rank ``core``) is the only module that may
-import ``multiprocessing``/``concurrent.futures``
+Process-level parallelism is likewise pinned down:
+``repro.core.parallel`` (session fan-out) and ``repro.world.shards``
+(population-shard fan-out) are the only modules that may import
+``multiprocessing``/``concurrent.futures``
 (:data:`PROCESS_POOL_MODULES`, rule L304).
 
 A package missing from :data:`RANKS` fails the lint run (L303): adding
@@ -57,6 +59,7 @@ RANKS: Dict[str, int] = {
     "capture": 30,
     "service": 40,
     "player": 50,
+    "world": 55,
     "crawler": 60,
     "core": 60,
     "analysis": 65,
@@ -77,7 +80,9 @@ OBS_FORBIDDEN_MODULES = frozenset({"repro.util.rng", "repro.netsim.events"})
 
 #: Packages whose hot paths must stay hermetic: no environment reads,
 #: no filesystem access (D105).
-HERMETIC_PACKAGES = frozenset({"netsim", "service", "player", "media", "faults"})
+HERMETIC_PACKAGES = frozenset(
+    {"netsim", "service", "player", "media", "faults", "world"}
+)
 
 #: Packages allowed to read the wall clock (D101): telemetry measures
 #: real elapsed time, and automation models real testbed clocks.
@@ -87,15 +92,16 @@ WALL_CLOCK_PACKAGES = frozenset({"obs", "automation"})
 #: applies.
 SIM_PACKAGES = frozenset(
     {"netsim", "service", "player", "media", "protocols", "core", "crawler",
-     "faults"}
+     "faults", "world"}
 )
 
 #: The only modules allowed to import ``multiprocessing`` /
 #: ``concurrent.futures`` (L304).  Process fan-out must stay behind
-#: :mod:`repro.core.parallel`, which guarantees serial sampling, seeded
+#: :mod:`repro.core.parallel` and the world-shard driver
+#: :mod:`repro.world.shards`, which guarantee serial sampling, seeded
 #: worker bootstrap, and index-ordered merges — ad-hoc pools elsewhere
 #: would have none of those and silently break bit-identical replays.
-PROCESS_POOL_MODULES = frozenset({"repro.core.parallel"})
+PROCESS_POOL_MODULES = frozenset({"repro.core.parallel", "repro.world.shards"})
 
 
 def rank_of(package: str) -> Optional[int]:

@@ -1,0 +1,205 @@
+"""Heavy-tailed broadcaster popularity for population-scale worlds.
+
+The Periscope paper's Section 4 and the Twitch measurement literature
+agree on the audience shape: a handful of "event" broadcasters carry
+most concurrent viewers while >90% of broadcasts average fewer than 20.
+This module samples that population at any scale and apportions a total
+viewer budget over it *integrally*, so the world's viewer count is exact
+(not just in expectation).
+
+Determinism contract: everything about broadcaster ``i`` derives from
+``child_rng(seed, "pop-weight", i)`` (its popularity draw) and
+``child_rng(seed, "pop-broadcast", i)`` (its full broadcast traits).
+No draw is keyed by shard, worker, or iteration order, which is what
+lets :mod:`repro.world.shards` split the population arbitrarily while
+staying byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.service.broadcast import (
+    ZERO_VIEWER_FRACTION,
+    Broadcast,
+    sample_broadcast,
+)
+from repro.service.geo import sample_location
+from repro.util.rng import Seedable, child_rng
+from repro.util.sampling import bounded_pareto
+
+
+@dataclass(frozen=True)
+class PopulationParameters:
+    """Scale and shape knobs of the mesoscale world."""
+
+    #: Total concurrent viewers apportioned over the broadcaster
+    #: population (exactly — see :func:`apportion`).
+    viewers: int = 100_000
+    #: Truncated-Pareto audience shape (matches
+    #: :func:`repro.service.broadcast.sample_mean_viewers`).
+    pareto_alpha: float = 1.0
+    pareto_scale: float = 0.8
+    pareto_high: float = 20_000.0
+    #: Fraction of broadcasters with no viewers at all (paper: >10%).
+    zero_viewer_fraction: float = ZERO_VIEWER_FRACTION
+    #: Full-fidelity sessions the stratified sampler promotes out of the
+    #: cohort population (expectation; realized count is within +-1 per
+    #: cohort by stochastic rounding).
+    sample_budget: int = 16
+
+    def __post_init__(self) -> None:
+        if self.viewers < 1:
+            raise ValueError("viewers must be positive")
+        if self.sample_budget < 0:
+            raise ValueError("sample_budget must be non-negative")
+        if not 0 <= self.zero_viewer_fraction < 1:
+            raise ValueError("zero_viewer_fraction must be in [0, 1)")
+
+    def mean_audience(self) -> float:
+        """Analytic mean of the zero-inflated truncated Pareto draw.
+
+        Used to size the broadcaster population for a viewer budget, so
+        the realized audience skew matches the sampler's tail exactly.
+        """
+        alpha, scale, high = self.pareto_alpha, self.pareto_scale, self.pareto_high
+        tail = 1.0 - (scale / high) ** alpha
+        if abs(alpha - 1.0) < 1e-12:
+            mean = scale * math.log(high / scale) / tail
+        else:
+            mean = (
+                alpha * scale ** alpha
+                * (scale ** (1.0 - alpha) - high ** (1.0 - alpha))
+                / ((alpha - 1.0) * tail)
+            )
+        return (1.0 - self.zero_viewer_fraction) * mean
+
+
+def apportion(total: int, weights: Sequence[float]) -> List[int]:
+    """Integral largest-remainder apportionment of ``total`` over
+    ``weights``.
+
+    Sums to exactly ``total``; ties in the fractional parts break by
+    index, so the result is a pure function of its arguments.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if not weights:
+        return []
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0.0:
+        # Degenerate population (every broadcaster drew zero viewers):
+        # park the whole budget on index 0 so the total stays exact.
+        counts = [0] * len(weights)
+        counts[0] = total
+        return counts
+    quotas = [total * w / weight_sum for w in weights]
+    counts = [int(q) for q in quotas]
+    remainder = total - sum(counts)
+    by_fraction = sorted(
+        range(len(weights)), key=lambda i: (counts[i] - quotas[i], i)
+    )
+    for i in by_fraction[:remainder]:
+        counts[i] += 1
+    return counts
+
+
+@dataclass
+class Population:
+    """A sampled broadcaster population with its apportioned audience."""
+
+    seed: Seedable
+    params: PopulationParameters
+    #: Apportioned concurrent viewers per broadcaster, index-aligned.
+    viewers_by_broadcaster: List[int] = field(default_factory=list)
+
+    @property
+    def n_broadcasters(self) -> int:
+        return len(self.viewers_by_broadcaster)
+
+    @property
+    def total_viewers(self) -> int:
+        return sum(self.viewers_by_broadcaster)
+
+    def zero_audience_count(self) -> int:
+        return sum(1 for v in self.viewers_by_broadcaster if v == 0)
+
+    def audience_cdf(self, audience: float) -> float:
+        """Fraction of broadcasters whose audience is <= ``audience``
+        (the Fig. 2(a)-style viewer CDF, exact over the population)."""
+        if not self.viewers_by_broadcaster:
+            return 0.0
+        below = sum(1 for v in self.viewers_by_broadcaster if v <= audience)
+        return below / self.n_broadcasters
+
+    def top_share(self, fraction: float) -> float:
+        """Share of all viewers carried by the top ``fraction`` of
+        broadcasters — the audience-concentration statistic."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        total = self.total_viewers
+        if total == 0:
+            return 0.0
+        count = max(1, int(math.ceil(self.n_broadcasters * fraction)))
+        top = sorted(self.viewers_by_broadcaster, reverse=True)[:count]
+        return sum(top) / total
+
+
+def sample_population(
+    seed: Seedable, params: PopulationParameters
+) -> Population:
+    """Sample the broadcaster population and apportion the viewer budget.
+
+    Runs serially in the parent (like study phase-1 sampling): one
+    popularity draw per broadcaster, each from its own child stream, and
+    a global largest-remainder apportionment — the only step that needs
+    the whole population at once.
+    """
+    n_broadcasters = max(1, int(round(params.viewers / params.mean_audience())))
+    weights: List[float] = []
+    for index in range(n_broadcasters):
+        rng = child_rng(seed, "pop-weight", index)
+        if rng.random() < params.zero_viewer_fraction:
+            weights.append(0.0)
+        else:
+            weights.append(
+                bounded_pareto(
+                    rng,
+                    alpha=params.pareto_alpha,
+                    scale=params.pareto_scale,
+                    high=params.pareto_high,
+                )
+            )
+    return Population(
+        seed=seed,
+        params=params,
+        viewers_by_broadcaster=apportion(params.viewers, weights),
+    )
+
+
+def build_broadcast(
+    seed: Seedable,
+    index: int,
+    audience: int,
+    min_duration_s: float = 0.0,
+) -> Broadcast:
+    """Materialize broadcaster ``index`` as a full :class:`Broadcast`.
+
+    Deterministic in ``(seed, index)``: cohort formation and sampled
+    full-fidelity expansion rebuild the *same* broadcast wherever they
+    run.  ``mean_viewers`` is overridden with the apportioned audience
+    so the viewer curve integrates to the population's allocation, and
+    the duration is floored at ``min_duration_s`` — a mesoscale world
+    observes broadcasts *live at the study instant*, and that
+    observation is length-biased toward streams that outlast the watch
+    window.
+    """
+    rng = child_rng(seed, "pop-broadcast", index)
+    location, center = sample_location(rng)
+    broadcast = sample_broadcast(rng, 0.0, location, center)
+    broadcast.mean_viewers = float(audience)
+    if broadcast.duration_s < min_duration_s:
+        broadcast.duration_s = min_duration_s
+    return broadcast

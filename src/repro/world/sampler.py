@@ -1,0 +1,114 @@
+"""Stratified sampling: promoting cohort members to full fidelity.
+
+The cohort aggregates in :mod:`repro.world.cohorts` are honest fluid
+approximations — useful for mass statistics, useless as ground truth.
+This module picks a stratified sample of cohort members and emits
+:class:`ExpansionRequest` records; each request carries everything
+needed to rebuild the member's exact :class:`~repro.core.session.SessionSetup`
+(the broadcaster is re-materialized from its index via
+:func:`repro.world.popularity.build_broadcast`), so the promoted member
+runs through the *unchanged* per-packet simulator — faults, netsim fast
+path, and all.
+
+Allocation is proportional: every cohort expands
+``members x rate`` sessions in expectation, realized by stochastic
+rounding from a per-cohort child stream
+(``child_rng(seed, "world-sample", broadcaster_index, class_name)``).
+Because strata are delivery paths, the sample covers the
+protocol x bandwidth matrix in proportion to member mass — and because
+the stream is keyed by broadcaster index, the realized sample is
+byte-identical for every shard and worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.rng import Seedable, child_rng
+from repro.world.cohorts import Cohort
+
+#: Margin (seconds) a sampled member keeps clear of the broadcast's end,
+#: mirroring the Teleport loop's "dying broadcast" filter.
+END_MARGIN_S = 6.0
+#: Earliest join age (the app never lands on a <0.5 s-old broadcast).
+MIN_JOIN_AGE_S = 1.0
+
+
+def joinable_min_duration_s(watch_seconds: float) -> float:
+    """Duration floor for materialized broadcasters: every member needs a
+    joinable window (min age + watch + end margin).  Shard computation
+    and full-fidelity expansion must use the same floor so they rebuild
+    the *same* broadcast."""
+    return MIN_JOIN_AGE_S + watch_seconds + END_MARGIN_S
+
+
+@dataclass(frozen=True)
+class ExpansionRequest:
+    """A picklable ticket to run one cohort member at full fidelity."""
+
+    broadcaster_index: int
+    audience: int
+    #: Stratum identity (bandwidth-class name; the protocol pins the
+    #: rest of the delivery path).
+    cohort_key: str
+    protocol_value: str
+    bandwidth_limit_mbps: float
+    age_at_join_s: float
+    watch_seconds: float
+    #: Member position within the cohort's sample (for labels/debug).
+    member_rank: int
+    #: 48-bit session seed drawn from the cohort's child stream.
+    session_seed: int
+    device_name: str
+
+
+def plan_expansions(
+    seed: Seedable,
+    cohort: Cohort,
+    rate: float,
+    watch_seconds: float,
+) -> List[ExpansionRequest]:
+    """Sample this cohort's full-fidelity members.
+
+    ``rate`` is the global sampling rate (budget / total viewers), so
+    expectation across all cohorts is exactly the budget while every
+    decision stays local to one cohort — the property that makes the
+    sample shard-invariant.
+    """
+    if rate <= 0.0 or cohort.members <= 0:
+        return []
+    rng = child_rng(seed, "world-sample", cohort.broadcaster_index,
+                    cohort.bandwidth.name)
+    expected = cohort.members * rate
+    count = int(expected)
+    if rng.random() < expected - count:
+        count += 1
+    count = min(count, cohort.members)
+    if count == 0:
+        return []
+
+    # Joinable age window, clear of the ramp-up start and the dying end.
+    latest_join_s = cohort.duration_s - watch_seconds - END_MARGIN_S
+    earliest_join_s = MIN_JOIN_AGE_S
+    requests: List[ExpansionRequest] = []
+    for member_rank in range(count):
+        if latest_join_s > earliest_join_s:
+            age_at_join_s = rng.uniform(earliest_join_s, latest_join_s)
+        else:
+            age_at_join_s = earliest_join_s
+        requests.append(
+            ExpansionRequest(
+                broadcaster_index=cohort.broadcaster_index,
+                audience=cohort.audience,
+                cohort_key=cohort.bandwidth.name,
+                protocol_value=cohort.protocol.value,
+                bandwidth_limit_mbps=cohort.bandwidth.downlink_mbps,
+                age_at_join_s=age_at_join_s,
+                watch_seconds=watch_seconds,
+                member_rank=member_rank,
+                session_seed=rng.getrandbits(48),
+                device_name="galaxy-s3" if rng.random() < 0.5 else "galaxy-s4",
+            )
+        )
+    return requests

@@ -428,6 +428,30 @@ class TestLayering:
         }, only_rules=["L303"])
         assert rule_ids_of(findings) == ["L303"]
 
+    def test_world_may_import_service(self):
+        # The mesoscale layer sits above the simulated backend…
+        findings = lint_sources({
+            "src/repro/world/snippet.py":
+                "from repro.service.broadcast import Broadcast\n",
+        }, only_rules=["L301"])
+        assert findings == []
+
+    def test_world_importing_core_rejected(self):
+        # …but below study orchestration: full-fidelity expansion is
+        # injected as a callable, never imported upward.
+        findings = lint_sources({
+            "src/repro/world/snippet.py":
+                "from repro.core.session import SessionSetup\n",
+        }, only_rules=["L301"])
+        assert rule_ids_of(findings) == ["L301"]
+        assert "upward import" in findings[0].message
+
+    def test_world_is_declared(self):
+        findings = lint_sources({
+            "src/repro/world/__init__.py": "X = 1\n",
+        }, only_rules=["L303"])
+        assert findings == []
+
 
 # ---------------------------------------------------------------- L304
 
@@ -457,6 +481,22 @@ class TestProcessPoolConfinement:
             """),
         }, only_rules=["L304"])
         assert findings == []
+
+    def test_world_shard_driver_exempt(self):
+        findings = lint_sources({
+            "src/repro/world/shards.py":
+                "from concurrent.futures import ProcessPoolExecutor\n",
+        }, only_rules=["L304"])
+        assert findings == []
+
+    def test_other_world_module_flagged(self):
+        # Only the shard driver may fan out; the rest of the mesoscale
+        # layer stays pool-free.
+        findings = lint_sources({
+            "src/repro/world/cohorts.py":
+                "from concurrent.futures import ProcessPoolExecutor\n",
+        }, only_rules=["L304"])
+        assert rule_ids_of(findings) == ["L304"]
 
     def test_outside_repro_clean(self):
         findings = lint_sources({
