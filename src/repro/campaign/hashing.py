@@ -1,0 +1,152 @@
+"""Canonical, stable content hashing for campaign cells.
+
+A campaign memoizes cell results under a key derived from the
+*fully-resolved* cell description (a :class:`~repro.campaign.spec.CellSpec`
+holding a :class:`~repro.core.config.StudyConfig`).  The key must be
+
+* **canonical** — two descriptions equal under ``==`` always hash equal,
+  so ``1`` and ``1.0`` and ``-0.0``/``0.0`` encode identically;
+* **stable** — the same description hashes the same across process
+  restarts, interpreters, and ``PYTHONHASHSEED`` values, so the walk is
+  an ordered field traversal with explicit type tags and length
+  prefixes, never ``repr`` or pickle (both leak incidental state);
+* **sensitive** — any single-field change, however nested (a fault
+  spec's transition probability, a retry policy's factor), lands in the
+  digest because every field contributes its name and its value;
+* **versioned** — :data:`SCHEMA_VERSION` salts the digest, so a schema
+  change invalidates every old key cleanly instead of serving blobs
+  computed under different semantics.
+
+Fields that cannot change results are excluded: ``StudyConfig.workers``
+only picks the execution strategy, and the parallel bit-identity suite
+pins that datasets do not depend on it — so a sweep re-run with a
+different worker count is a pure cache hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import math
+import struct
+from typing import Iterator
+
+#: Bump on any change to the encoding below or to the meaning of cell
+#: execution (new pickled blob layout, new cell semantics): old keys
+#: must stop matching rather than resurrect stale results.
+SCHEMA_VERSION = 1
+
+#: The digest salt; includes the schema version.
+_SALT = f"repro.campaign/v{SCHEMA_VERSION}\x00".encode("ascii")
+
+#: (dataclass name, field name) pairs left out of the digest because
+#: they cannot affect results — only how they are computed.
+EXECUTION_ONLY_FIELDS = frozenset({("StudyConfig", "workers")})
+
+
+class UnhashableValueError(TypeError):
+    """A value the canonical encoding refuses (NaN, unknown types)."""
+
+
+def _encode_number(value: float) -> bytes:
+    """One encoding per *numeric value*: ``True == 1 == 1.0`` must agree.
+
+    Dataclass ``==`` compares fields with ``==``, so configs differing
+    only in numeric *type* (or in ``0.0`` vs ``-0.0``) are equal and
+    must share a key.  Integral values normalize to decimal; the rest
+    keep their exact IEEE bits (big-endian, process-independent).
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            raise UnhashableValueError(
+                "NaN has no canonical identity (NaN != NaN); a config "
+                "holding NaN cannot be memoized"
+            )
+        if math.isinf(value):
+            return b"f+inf" if value > 0 else b"f-inf"
+        if value == int(value):
+            return b"n%d" % int(value)
+        return b"f" + struct.pack(">d", value)
+    return b"n%d" % int(value)
+
+
+def _iter_encoded(value: object) -> Iterator[bytes]:
+    """Yield the type-tagged canonical byte stream for ``value``."""
+    if value is None:
+        yield b"N;"
+    elif isinstance(value, (bool, int, float)):
+        yield _encode_number(value)
+        yield b";"
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        yield b"s%d:" % len(data)
+        yield data
+    elif isinstance(value, bytes):
+        yield b"y%d:" % len(value)
+        yield value
+    elif isinstance(value, enum.Enum):
+        yield b"E"
+        yield type(value).__name__.encode("utf-8")
+        yield b":"
+        yield from _iter_encoded(value.value)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        yield b"D"
+        yield name.encode("utf-8")
+        yield b"{"
+        for field in dataclasses.fields(value):
+            if (name, field.name) in EXECUTION_ONLY_FIELDS:
+                continue
+            yield field.name.encode("utf-8")
+            yield b"="
+            yield from _iter_encoded(getattr(value, field.name))
+        yield b"}"
+    elif isinstance(value, (list, tuple)):
+        # One tag for both: a config built with a list where the default
+        # is a tuple is the same study, and the distinction is exactly
+        # the kind of incidental state a canonical key must shed.
+        yield b"["
+        for item in value:
+            yield from _iter_encoded(item)
+        yield b"]"
+    elif isinstance(value, dict):
+        yield b"{"
+        entries = sorted(
+            (canonical_bytes(key), canonical_bytes(item))
+            for key, item in value.items()
+        )
+        for encoded_key, encoded_item in entries:
+            yield encoded_key
+            yield b":"
+            yield encoded_item
+        yield b"}"
+    elif isinstance(value, (set, frozenset)):
+        yield b"("
+        for item in sorted(canonical_bytes(member) for member in value):
+            yield item
+        yield b")"
+    else:
+        raise UnhashableValueError(
+            f"no canonical encoding for {type(value).__name__}; extend "
+            f"repro.campaign.hashing (and bump SCHEMA_VERSION) deliberately"
+        )
+
+
+def canonical_bytes(value: object) -> bytes:
+    """The canonical byte encoding of ``value`` (unsalted)."""
+    return b"".join(_iter_encoded(value))
+
+
+def content_hash(value: object) -> str:
+    """Salted SHA-256 hex digest of the canonical encoding."""
+    digest = hashlib.sha256()
+    digest.update(_SALT)
+    digest.update(canonical_bytes(value))
+    return digest.hexdigest()
+
+
+def blob_hash(data: bytes) -> str:
+    """Content address of a result blob (unsalted: the address *is* the
+    bytes, so recomputing a cell reproduces the same address)."""
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,357 @@
+"""The on-disk campaign store: blobs, journal, lock.
+
+Crash-safety model — every write is one of:
+
+* **Blob** (``objects/<aa>/<rest>``): content-addressed by SHA-256 of
+  the bytes.  Written to a temp file in the same directory, flushed,
+  fsync'd, then atomically renamed into place (and the directory
+  fsync'd), so a reader either sees the complete blob under its final
+  name or nothing.  A crash can only leave a ``*.tmp`` orphan, which
+  :meth:`CampaignStore.gc` sweeps.
+* **Journal record** (``journal.jsonl``): one CRC-framed JSON line,
+  appended and fsync'd.  The journal is the checkpoint: a cell exists
+  iff a valid record points at its blob.  A torn final line (the
+  classic power-cut tail) is detected by the CRC/framing check,
+  reported, and truncated away on reopen; records never reference a
+  blob before the blob rename completed, so replaying the journal can
+  only under-count finished work — the memoization layer recomputes the
+  difference and, being deterministic, reproduces the identical bytes.
+* **Named artifact** (``campaign.json``, ``dataset.pkl``, ...): full
+  temp-write + rename, same as blobs.
+
+Blob reads re-hash the bytes: a corrupted object (bit rot, truncation)
+raises :class:`CorruptBlobError` instead of ever serving bad bytes, and
+the runner treats the cell as missing.
+
+One campaign directory admits one runner at a time: ``lock`` is held
+with a non-blocking ``flock`` for the whole run, so a concurrent (or
+"concurrent-ish", half-dead) second runner fails fast with
+:class:`StoreLockedError` instead of interleaving journal appends.
+"""
+
+from __future__ import annotations
+
+import errno
+import fcntl
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.hashing import blob_hash
+
+JOURNAL_NAME = "journal.jsonl"
+LOCK_NAME = "lock"
+OBJECTS_DIR = "objects"
+
+#: Journal record kinds.
+RECORD_CELL = "cell"
+RECORD_CHECKPOINT = "checkpoint"
+RECORD_CORRUPT = "corrupt-blob"
+
+
+class StoreError(RuntimeError):
+    """Base class for campaign-store failures."""
+
+
+class StoreLockedError(StoreError):
+    """Another runner holds this campaign directory."""
+
+
+class CorruptBlobError(StoreError):
+    """A blob's bytes no longer match its content address."""
+
+    def __init__(self, address: str, actual: str) -> None:
+        super().__init__(
+            f"blob {address} is corrupt (bytes hash to {actual}); "
+            f"refusing to serve it — the cell will be recomputed"
+        )
+        self.address = address
+        self.actual = actual
+
+
+@dataclass
+class JournalScan:
+    """What reopening the journal found."""
+
+    records: List[dict] = field(default_factory=list)
+    #: Whole valid lines whose CRC or JSON did not check out (disk
+    #: damage mid-file).  Their cells silently recompute.
+    damaged: int = 0
+    #: The final line was torn (no newline, bad frame): the append was
+    #: interrupted.  Reopening truncates it away.
+    torn_tail: bool = False
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _frame(record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    data = payload.encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(data) & 0xFFFFFFFF, data)
+
+
+def _parse_line(line: bytes) -> Optional[dict]:
+    """A record, or None when the frame does not check out."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        expected = int(line[:8], 16)
+    except ValueError:
+        return None
+    data = line[9:]
+    if zlib.crc32(data) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class CampaignStore:
+    """One campaign directory.  See the module docstring for the model."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        os.makedirs(os.path.join(self.path, OBJECTS_DIR), exist_ok=True)
+        self._lock_fd: Optional[int] = None
+        self._journal_fd: Optional[int] = None
+        #: Test/ops hook: called after every fsync'd journal append with
+        #: the record; the kill/resume harness SIGKILLs from here.
+        self.post_append: Optional[Callable[[dict], None]] = None
+
+    # ------------------------------------------------------------------ lock
+
+    def acquire_lock(self) -> None:
+        """Take the exclusive campaign lock or raise :class:`StoreLockedError`."""
+        if self._lock_fd is not None:
+            return
+        fd = os.open(os.path.join(self.path, LOCK_NAME),
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as error:
+            os.close(fd)
+            if error.errno in (errno.EAGAIN, errno.EACCES):
+                raise StoreLockedError(
+                    f"campaign directory {self.path} is locked by another "
+                    f"runner; refusing a double-run"
+                ) from error
+            raise
+        self._lock_fd = fd
+
+    def release_lock(self) -> None:
+        if self._lock_fd is not None:
+            fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+            os.close(self._lock_fd)
+            self._lock_fd = None
+
+    def __enter__(self) -> "CampaignStore":
+        self.acquire_lock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._journal_fd is not None:
+            os.close(self._journal_fd)
+            self._journal_fd = None
+        self.release_lock()
+
+    # ----------------------------------------------------------------- blobs
+
+    def _blob_path(self, address: str) -> str:
+        return os.path.join(self.path, OBJECTS_DIR, address[:2], address[2:])
+
+    def put_blob(self, data: bytes) -> str:
+        """Write ``data`` under its content address; atomic and idempotent."""
+        address = blob_hash(data)
+        final = self._blob_path(address)
+        if os.path.exists(final):
+            # Content-addressed: same bytes should already be there — but
+            # verify, so recomputing a cell whose blob rotted on disk
+            # heals the object instead of leaving the corrupt bytes in
+            # place under a now-valid journal record.
+            with open(final, "rb") as existing:
+                if blob_hash(existing.read()) == address:
+                    return address
+        os.makedirs(os.path.dirname(final), exist_ok=True)
+        tmp = final + ".tmp"
+        fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, final)
+        _fsync_dir(os.path.dirname(final))
+        return address
+
+    def read_blob(self, address: str) -> bytes:
+        """The blob's bytes, verified against its address."""
+        with open(self._blob_path(address), "rb") as source:
+            data = source.read()
+        actual = blob_hash(data)
+        if actual != address:
+            raise CorruptBlobError(address, actual)
+        return data
+
+    def has_blob(self, address: str) -> bool:
+        return os.path.exists(self._blob_path(address))
+
+    def blob_addresses(self) -> List[str]:
+        """Every blob currently on disk (valid names only)."""
+        addresses: List[str] = []
+        root = os.path.join(self.path, OBJECTS_DIR)
+        for shard in sorted(os.listdir(root)):
+            shard_dir = os.path.join(root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".tmp"):
+                    addresses.append(shard + name)
+        return addresses
+
+    # --------------------------------------------------------------- journal
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, JOURNAL_NAME)
+
+    def scan_journal(self) -> JournalScan:
+        """Read the journal, tolerating a torn final record."""
+        scan = JournalScan()
+        if not os.path.exists(self.journal_path):
+            return scan
+        with open(self.journal_path, "rb") as source:
+            raw = source.read()
+        if not raw:
+            return scan
+        lines = raw.split(b"\n")
+        tail = lines.pop()  # b"" when the file ends with a newline
+        for line in lines:
+            record = _parse_line(line)
+            if record is None:
+                scan.damaged += 1
+            else:
+                scan.records.append(record)
+        if tail:
+            # No trailing newline: the final append was interrupted.  A
+            # complete frame that merely lost its newline is still good.
+            record = _parse_line(tail)
+            if record is not None:
+                scan.records.append(record)
+            else:
+                scan.torn_tail = True
+        return scan
+
+    def open_journal(self) -> JournalScan:
+        """Scan, then truncate away a torn tail so appends start clean.
+
+        Requires the lock (truncation must never race another writer).
+        """
+        if self._lock_fd is None:
+            raise StoreError("open_journal requires the campaign lock")
+        scan = self.scan_journal()
+        if scan.torn_tail or scan.damaged:
+            # Rewrite only when something was wrong: valid records are
+            # preserved byte-for-byte via re-framing identical payloads.
+            tmp = self.journal_path + ".tmp"
+            with open(tmp, "wb") as sink:
+                for record in scan.records:
+                    sink.write(_frame(record))
+                sink.flush()
+                os.fsync(sink.fileno())
+            os.replace(tmp, self.journal_path)
+            _fsync_dir(self.path)
+        if self._journal_fd is not None:
+            os.close(self._journal_fd)
+        self._journal_fd = os.open(
+            self.journal_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        return scan
+
+    def append_record(self, record: dict) -> None:
+        """Append one fsync'd record; the journal must be open."""
+        if self._journal_fd is None:
+            raise StoreError("journal not open; call open_journal() first")
+        os.write(self._journal_fd, _frame(record))
+        os.fsync(self._journal_fd)
+        if self.post_append is not None:
+            self.post_append(record)
+
+    def completed_cells(
+        self, scan: Optional[JournalScan] = None
+    ) -> Dict[str, str]:
+        """Cell key -> blob address for every journaled cell (last wins)."""
+        if scan is None:
+            scan = self.scan_journal()
+        completed: Dict[str, str] = {}
+        for record in scan.records:
+            if record.get("kind") == RECORD_CELL:
+                completed[record["key"]] = record["blob"]
+        return completed
+
+    # ------------------------------------------------------------- artifacts
+
+    def write_artifact(self, name: str, data: bytes) -> str:
+        """Atomically (re)write a named file in the campaign directory."""
+        final = os.path.join(self.path, name)
+        tmp = final + ".tmp"
+        fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, final)
+        _fsync_dir(self.path)
+        return final
+
+    def read_artifact(self, name: str) -> Optional[bytes]:
+        try:
+            with open(os.path.join(self.path, name), "rb") as source:
+                return source.read()
+        except FileNotFoundError:
+            return None
+
+    # ------------------------------------------------------------------- gc
+
+    def gc(self) -> Tuple[int, int]:
+        """Sweep temp orphans and unreferenced blobs.
+
+        Every blob referenced by any valid journal record survives —
+        the journal is the liveness root, so a cell checkpointed at any
+        point in the campaign's history keeps its bytes.  Returns
+        ``(blobs_removed, tmp_removed)``.
+        """
+        live = set(self.completed_cells().values())
+        blobs_removed = 0
+        tmp_removed = 0
+        root = os.path.join(self.path, OBJECTS_DIR)
+        for shard in sorted(os.listdir(root)):
+            shard_dir = os.path.join(root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                full = os.path.join(shard_dir, name)
+                if name.endswith(".tmp"):
+                    os.unlink(full)
+                    tmp_removed += 1
+                elif shard + name not in live:
+                    os.unlink(full)
+                    blobs_removed += 1
+        for name in sorted(os.listdir(self.path)):
+            if name.endswith(".tmp"):
+                os.unlink(os.path.join(self.path, name))
+                tmp_removed += 1
+        return blobs_removed, tmp_removed

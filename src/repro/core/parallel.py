@@ -97,6 +97,7 @@ def _worker_init(
 
 def _run_chunk(
     setups: Sequence[SessionSetup],
+    start: int = 0,
 ) -> Tuple[List[SessionResult], Optional[dict]]:
     """Run one contiguous chunk of prepared setups inside a worker.
 
@@ -106,6 +107,13 @@ def _run_chunk(
     only for enabled surfaces: ``{"metrics": ..., "causes": ...,
     "health": ...}``.  Telemetry is fresh per chunk so a worker that
     serves several chunks never double-counts.
+
+    ``start`` is the chunk's offset in the full setup sequence: a
+    session that raises gets the *global* index of the failing cell
+    attached as ``cell_index`` (an instance attribute, so it survives
+    the pickle trip back to the parent alongside the remote traceback),
+    letting batch and campaign callers name the poisoned unit instead
+    of guessing which of hundreds of sessions died.
     """
     if _WORKER_INGEST is None:
         raise RuntimeError("worker not initialized; dispatch via run_sessions")
@@ -121,17 +129,18 @@ def _run_chunk(
             )
         )
     try:
-        results = [
-            SessionResult(
+        results = []
+        for offset, setup in enumerate(setups):
+            try:
+                artifacts = ViewingSession(setup, ingest=_WORKER_INGEST).run()
+            except Exception as error:
+                error.cell_index = start + offset  # type: ignore[attr-defined]
+                raise
+            results.append(SessionResult(
                 qoe=artifacts.qoe,
                 avatar_bytes=artifacts.avatar_bytes,
                 down_bytes=artifacts.total_down_bytes,
-            )
-            for artifacts in (
-                ViewingSession(setup, ingest=_WORKER_INGEST).run()
-                for setup in setups
-            )
-        ]
+            ))
         snapshot: Optional[dict] = None
         if telemetry is not None:
             snapshot = {}
@@ -194,7 +203,7 @@ def run_sessions(
                   health_enabled, exact_network),
     ) as pool:
         futures = [
-            (start, pool.submit(_run_chunk, list(setups[start:stop])))
+            (start, pool.submit(_run_chunk, list(setups[start:stop]), start))
             for start, stop in bounds
         ]
         for start, future in futures:
@@ -205,3 +214,49 @@ def run_sessions(
                 snapshots.append(snapshot)
     assert all(result is not None for result in results)
     return results, snapshots  # type: ignore[return-value]
+
+
+def _run_task(func, index: int, item):
+    """Worker-side shim for :func:`run_tasks`: tag failures with the
+    task index (instance attribute -> survives the pickle trip)."""
+    try:
+        return func(item)
+    except Exception as error:
+        error.task_index = index  # type: ignore[attr-defined]
+        raise
+
+
+def run_tasks(
+    func,
+    items: Sequence,
+    *,
+    workers: int,
+    on_result=None,
+) -> List:
+    """Index-ordered process fan-out for hermetic task units.
+
+    The generic sibling of :func:`run_sessions`, used by the campaign
+    runner to dispatch whole cells: ``func`` must be a module-level
+    callable (pickled by reference) and each item must be picklable and
+    hermetic — the result may depend only on the item.  Results come
+    back in input order; ``on_result(index, result)`` fires in the
+    parent, also in input order, as each prefix of the submission
+    completes — which is what lets a caller checkpoint finished work
+    incrementally without ever observing completion order.  A task that
+    raises re-raises here with ``task_index`` attached.
+    """
+    if workers < 2:
+        raise ValueError("run_tasks needs at least two workers; "
+                         "run items inline for the serial path")
+    results: List = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_task, func, index, item)
+            for index, item in enumerate(items)
+        ]
+        for index, future in enumerate(futures):
+            result = future.result()
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+    return results

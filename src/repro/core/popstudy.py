@@ -176,6 +176,25 @@ class PopulationResult:
         return aggregate.join_seconds / aggregate.sessions
 
 
+def run_population_cell(
+    config: StudyConfig,
+    viewers: int,
+    sample_budget: int = 16,
+    workers: int = 1,
+) -> "PopulationResult":
+    """One campaign-sized population unit: a full world advance at a
+    viewer count, defaulting to serial execution.
+
+    The memoization quantum of a ``population`` campaign cell
+    (:mod:`repro.campaign`): everything the result depends on is in
+    ``(config, viewers, sample_budget)`` — ``workers`` only picks the
+    execution strategy, which the shard/worker-invariance suite proves
+    is result-free.
+    """
+    params = PopulationParameters(viewers=viewers, sample_budget=sample_budget)
+    return PopulationStudy(config, params).run(workers=workers)
+
+
 class PopulationStudy:
     """Mesoscale study driver: cohort masses + stratified exact anchors.
 

@@ -22,6 +22,7 @@ crawler/core -> experiments/analysis``)::
     player                client-side playback
     world                 mesoscale viewer cohorts over the service
     crawler, core         crawls and study orchestration
+    campaign              crash-safe memoized sweeps over core studies
     analysis              stats + terminal figures
     experiments, lint     entry points and tooling
 
@@ -62,6 +63,7 @@ RANKS: Dict[str, int] = {
     "world": 55,
     "crawler": 60,
     "core": 60,
+    "campaign": 62,
     "analysis": 65,
     "experiments": 70,
     "lint": 70,
@@ -79,7 +81,10 @@ OBS_ALLOWED_TARGETS = frozenset({"obs", "util"})
 OBS_FORBIDDEN_MODULES = frozenset({"repro.util.rng", "repro.netsim.events"})
 
 #: Packages whose hot paths must stay hermetic: no environment reads,
-#: no filesystem access (D105).
+#: no filesystem access (D105).  ``campaign`` is deliberately absent:
+#: its content-addressed store *is* the sanctioned filesystem surface —
+#: checkpoints, journals, and blobs live there so the hermetic layers
+#: never have to touch disk themselves.
 HERMETIC_PACKAGES = frozenset(
     {"netsim", "service", "player", "media", "faults", "world"}
 )

@@ -43,11 +43,11 @@ def _label_str(key: LabelKey, extra: Sequence[str] = ()) -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
-def render_prometheus(telemetry: Telemetry) -> str:
-    """The whole registry (plus the event-loop profile) as Prometheus
-    text exposition format."""
+def _registry_lines(registry) -> List[str]:
+    """One :class:`~repro.obs.metrics.MetricsRegistry` as Prometheus
+    text-exposition lines (families plus the dropped-samples series)."""
     lines: List[str] = []
-    for family in telemetry.metrics.families():
+    for family in registry.families():
         if family.help:
             lines.append(f"# HELP {family.name} {family.help}")
         lines.append(f"# TYPE {family.name} {family.kind}")
@@ -72,7 +72,7 @@ def render_prometheus(telemetry: Telemetry) -> str:
     # Telemetry self-reporting: truncated data must be visible.
     dropped_rows = [
         ((("metric", family.name),) + key, child.values_dropped)
-        for family, key, child in telemetry.metrics.collect()
+        for family, key, child in registry.collect()
         if isinstance(child, Histogram) and child.values_dropped
     ]
     if dropped_rows:
@@ -86,6 +86,26 @@ def render_prometheus(telemetry: Telemetry) -> str:
                 f"telemetry_histogram_values_dropped_total"
                 f"{_label_str(key)} {dropped}"
             )
+    return lines
+
+
+def render_metrics(registry) -> str:
+    """A bare metrics registry as Prometheus text exposition format.
+
+    The registry-level core of :func:`render_prometheus`, exported for
+    callers that hold a registry without a live telemetry context — the
+    campaign runner renders its merged per-cell registries and its
+    ``progress.prom`` dump through this, so campaign metric files diff
+    cleanly against ``--metrics`` output.
+    """
+    lines = _registry_lines(registry)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """The whole registry (plus the event-loop profile) as Prometheus
+    text exposition format."""
+    lines: List[str] = list(_registry_lines(telemetry.metrics))
     if telemetry.tracer.spans or telemetry.tracer.dropped:
         lines.append(
             "# HELP tracer_dropped_spans_total Spans discarded past max_spans"

@@ -1,0 +1,159 @@
+"""Kill/resume torture tests (the campaign's headline guarantee).
+
+A campaign subprocess is SIGKILLed — a real, unhandled kill via the
+``--kill-after-appends`` hook, which fires immediately after an fsync'd
+journal append — at randomized journal offsets across ten seeds.  After
+resuming, the final ``dataset.pkl`` and merged metric snapshots must be
+byte-identical to an uninterrupted cold run.  Torn-final-journal-record
+and truncated-at-arbitrary-byte-offset variants ride along: whatever
+prefix of the journal survives, resuming reproduces the same bytes.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Three cells (one seed, three limits): the journal gets 2 appends per
+#: cell (record + checkpoint) plus a final checkpoint = 7 appends, so
+#: kill offsets 1..6 land everywhere from "nothing done" to "all cells
+#: done, final artifacts unwritten".
+GRID = ["--seeds", "2016", "--limits", "0.5,2,100",
+        "--sessions", "1", "--watch", "4", "--scale", "0.02"]
+MAX_KILL_OFFSET = 6
+
+SPEC = CampaignSpec(
+    seeds=(2016,), limits_mbps=(0.5, 2.0, 100.0), sessions_per_cell=1,
+    watch_seconds=4.0, scale=0.02,
+)
+
+ARTIFACTS = ("dataset.pkl", "metrics.prom", "metrics.json")
+
+
+def _cli(args, check=False):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.campaign"] + args,
+        capture_output=True, text=True, env=env, check=check,
+    )
+
+
+def _run(campaign_dir, extra=()):
+    return _cli(["run", "--campaign", str(campaign_dir)] + GRID + list(extra))
+
+
+def _artifact_bytes(campaign_dir):
+    store = CampaignStore(str(campaign_dir))
+    return {name: store.read_artifact(name) for name in ARTIFACTS}
+
+
+@pytest.fixture(scope="module")
+def cold(tmp_path_factory):
+    """The uninterrupted reference run, in the same subprocess harness
+    the killed runs use."""
+    path = tmp_path_factory.mktemp("crash-cold")
+    result = _run(path)
+    assert result.returncode == 0, result.stderr
+    reference = _artifact_bytes(path)
+    assert all(reference.values())
+    return reference
+
+
+@pytest.mark.parametrize("torture_seed", range(10))
+def test_sigkill_then_resume_reproduces_cold_bytes(cold, tmp_path,
+                                                   torture_seed):
+    rng = random.Random(0xC0FFEE + torture_seed)
+    kill_after = rng.randint(1, MAX_KILL_OFFSET)
+    campaign_dir = tmp_path / f"kill-{torture_seed}"
+
+    killed = _run(campaign_dir, ["--kill-after-appends", str(kill_after)])
+    assert killed.returncode == -signal.SIGKILL, (
+        f"expected a SIGKILL death after {kill_after} appends, got "
+        f"rc={killed.returncode}: {killed.stderr}"
+    )
+    # The kill landed mid-campaign: no final artifacts yet.
+    assert _artifact_bytes(campaign_dir)["dataset.pkl"] is None
+
+    resumed = _run(campaign_dir)
+    assert resumed.returncode == 0, resumed.stderr
+    assert _artifact_bytes(campaign_dir) == cold, (
+        f"resume after SIGKILL@append{kill_after} diverged from cold run"
+    )
+    # And the resume actually skipped journaled work.
+    assert "memoized" in resumed.stdout
+
+
+def test_sigkill_with_torn_final_record_then_resume(cold, tmp_path):
+    campaign_dir = tmp_path / "torn"
+    killed = _run(campaign_dir, ["--kill-after-appends", "3"])
+    assert killed.returncode == -signal.SIGKILL
+
+    # A power cut that also tore the last record: partial line, no
+    # newline, bad frame.
+    journal = campaign_dir / "journal.jsonl"
+    with open(journal, "ab") as sink:
+        sink.write(b'00bad000 {"kind":"cell","key":"half-writ')
+
+    resumed = _run(campaign_dir)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "torn journal tail was truncated" in resumed.stdout
+    assert _artifact_bytes(campaign_dir) == cold
+
+
+def test_repeated_kills_then_resume(cold, tmp_path):
+    """Crashing the resume itself must also be survivable."""
+    campaign_dir = tmp_path / "double"
+    first = _run(campaign_dir, ["--kill-after-appends", "2"])
+    assert first.returncode == -signal.SIGKILL
+    second = _run(campaign_dir, ["--kill-after-appends", "2"])
+    assert second.returncode == -signal.SIGKILL
+    final = _run(campaign_dir)
+    assert final.returncode == 0, final.stderr
+    assert _artifact_bytes(campaign_dir) == cold
+
+
+def test_status_between_kill_and_resume_reports_progress(tmp_path):
+    campaign_dir = tmp_path / "inspect"
+    killed = _run(campaign_dir, ["--kill-after-appends", "2"])
+    assert killed.returncode == -signal.SIGKILL
+    status = _cli(["status", "--campaign", str(campaign_dir)], check=True)
+    assert "planned cells:   3" in status.stdout
+    assert "completed:       1" in status.stdout
+    assert "complete:        no" in status.stdout
+
+
+def test_journal_truncated_at_any_byte_offset_resumes_identically(
+        cold, tmp_path):
+    """Stronger than record-boundary kills: chop the journal at
+    arbitrary byte offsets (mid-record, mid-CRC, anywhere) and resume.
+    Every prefix must recover to the cold bytes."""
+    reference_dir = tmp_path / "bytes-ref"
+    result = _run(reference_dir)
+    assert result.returncode == 0, result.stderr
+    journal_bytes = (reference_dir / "journal.jsonl").read_bytes()
+
+    rng = random.Random(0xBADC0DE)
+    offsets = sorted(rng.sample(range(1, len(journal_bytes)), 5))
+    for offset in offsets:
+        campaign_dir = tmp_path / f"chop-{offset}"
+        store = CampaignStore(str(campaign_dir))
+        # Rehost the blobs journaled before the chop so the truncated
+        # journal's references resolve (a real crash leaves both).
+        source = CampaignStore(str(reference_dir))
+        for address in source.blob_addresses():
+            store.put_blob(source.read_blob(address))
+        with open(store.journal_path, "wb") as sink:
+            sink.write(journal_bytes[:offset])
+        summary = CampaignRunner(store, SPEC).run()
+        assert summary.memoized + summary.executed == 3
+        assert _artifact_bytes(campaign_dir) == cold, f"offset {offset}"

@@ -1,0 +1,259 @@
+"""Canonical hashing properties (repro.campaign.hashing).
+
+The memoization key must be canonical (``==`` configs agree), stable
+(same bytes across processes and PYTHONHASHSEED), and sensitive (any
+result-relevant field change lands in the digest).  Hypothesis drives
+the equality/perturbation properties; a pinned golden digest guards
+cross-restart stability.
+"""
+
+import dataclasses
+import enum
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.hashing import (
+    EXECUTION_ONLY_FIELDS,
+    SCHEMA_VERSION,
+    UnhashableValueError,
+    blob_hash,
+    canonical_bytes,
+    content_hash,
+)
+from repro.campaign.spec import SWEEP, CampaignSpec, CellSpec, cell_key, plan_cells
+from repro.core.config import StudyConfig
+from repro.faults.plan import FaultPlan
+
+# Finite, non-NaN scalars: NaN is rejected by design (NaN != NaN, so a
+# config holding one has no canonical identity).
+finite_floats = st.floats(allow_nan=False, allow_infinity=True)
+scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), finite_floats,
+    st.text(max_size=20), st.binary(max_size=20),
+)
+trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+# ----------------------------------------------------------- canonicality
+
+@settings(deadline=None)
+@given(trees)
+def test_encoding_is_deterministic(value):
+    assert canonical_bytes(value) == canonical_bytes(value)
+    assert content_hash(value) == content_hash(value)
+
+
+@settings(deadline=None)
+@given(st.one_of(st.booleans(), st.integers(), finite_floats),
+       st.one_of(st.booleans(), st.integers(), finite_floats))
+def test_scalar_hash_agrees_with_equality(x, y):
+    """``x == y`` iff equal canonical bytes — the dataclass-``==``
+    contract (True == 1 == 1.0, 0.0 == -0.0) and nothing more."""
+    assert (canonical_bytes(x) == canonical_bytes(y)) == (x == y)
+
+
+def test_numeric_type_does_not_matter():
+    assert content_hash(1) == content_hash(1.0) == content_hash(True)
+    assert content_hash(0.0) == content_hash(-0.0) == content_hash(0)
+
+
+def test_list_and_tuple_encode_identically():
+    assert content_hash([1, "a", 2.5]) == content_hash((1, "a", 2.5))
+
+
+def test_dict_insertion_order_does_not_matter():
+    assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+
+def test_set_iteration_order_does_not_matter():
+    assert content_hash({3, 1, 2}) == content_hash({2, 3, 1})
+    assert content_hash(frozenset({"x", "y"})) == content_hash({"y", "x"})
+
+
+def test_adjacent_containers_do_not_collide():
+    assert content_hash([1, 2]) != content_hash([12])
+    assert content_hash(["1"]) != content_hash([1])
+    assert content_hash([None]) != content_hash([0])
+    assert content_hash([[1], [2]]) != content_hash([[1, 2]])
+    assert content_hash({"a": 1}) != content_hash([("a", 1)])
+
+
+def test_enum_encoding_includes_class_name():
+    class Color(enum.Enum):
+        RED = 1
+
+    class Shade(enum.Enum):
+        RED = 1
+
+    assert content_hash(Color.RED) != content_hash(Shade.RED)
+    assert content_hash(Color.RED) != content_hash(1)
+
+
+def test_nan_is_rejected():
+    with pytest.raises(UnhashableValueError):
+        content_hash(float("nan"))
+    with pytest.raises(UnhashableValueError):
+        content_hash(StudyConfig(seed=1, watch_seconds=float("nan")))
+
+
+def test_unknown_types_are_rejected():
+    with pytest.raises(UnhashableValueError):
+        content_hash(object())
+
+
+def test_infinities_have_distinct_stable_encodings():
+    assert content_hash(float("inf")) != content_hash(float("-inf"))
+    assert content_hash(float("inf")) == content_hash(float("inf"))
+
+
+def test_blob_hash_is_plain_sha256():
+    import hashlib
+    data = b"campaign blob"
+    assert blob_hash(data) == hashlib.sha256(data).hexdigest()
+
+
+# ------------------------------------------------------------ StudyConfig
+
+config_kwargs = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=2**32),
+    "scale": st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    "watch_seconds": st.floats(min_value=1.0, max_value=600.0,
+                               allow_nan=False),
+    "workers": st.integers(min_value=1, max_value=16),
+    "exact_network": st.booleans(),
+})
+
+
+@settings(deadline=None)
+@given(config_kwargs)
+def test_equal_configs_hash_equal(kwargs):
+    assert content_hash(StudyConfig(**kwargs)) == \
+        content_hash(StudyConfig(**kwargs))
+
+
+@settings(deadline=None)
+@given(config_kwargs, st.integers(min_value=1, max_value=2**31))
+def test_any_result_relevant_perturbation_changes_the_hash(kwargs, delta):
+    base = StudyConfig(**kwargs)
+    for field in ("seed", "scale", "watch_seconds", "hls_viewer_threshold",
+                  "access_bandwidth_bps"):
+        perturbed = dataclasses.replace(
+            base, **{field: getattr(base, field) + delta}
+        )
+        assert content_hash(perturbed) != content_hash(base), field
+    flipped = dataclasses.replace(base, exact_network=not base.exact_network)
+    assert content_hash(flipped) != content_hash(base)
+
+
+@settings(deadline=None)
+@given(config_kwargs, st.integers(min_value=1, max_value=16))
+def test_workers_is_execution_only(kwargs, workers):
+    """Worker count cannot change results (the parallel bit-identity
+    suite proves it), so it must not change the key either."""
+    assert ("StudyConfig", "workers") in EXECUTION_ONLY_FIELDS
+    base = StudyConfig(**kwargs)
+    assert content_hash(dataclasses.replace(base, workers=workers)) == \
+        content_hash(base)
+
+
+def test_integral_float_fields_match_int_construction():
+    # StudyConfig(watch_seconds=60) == StudyConfig(watch_seconds=60.0)
+    # under dataclass ==, so the keys must agree too.
+    assert content_hash(StudyConfig(seed=1, watch_seconds=60)) == \
+        content_hash(StudyConfig(seed=1, watch_seconds=60.0))
+
+
+def test_nested_fault_plan_perturbations_change_the_hash():
+    base = StudyConfig(
+        seed=1, faults=FaultPlan.parse("loss=0.02,jitter=0.005,api5xx=0.1")
+    )
+    tweaked_loss = StudyConfig(
+        seed=1, faults=FaultPlan.parse("loss=0.021,jitter=0.005,api5xx=0.1")
+    )
+    tweaked_api = StudyConfig(
+        seed=1, faults=FaultPlan.parse("loss=0.02,jitter=0.005,api5xx=0.11")
+    )
+    no_faults = StudyConfig(seed=1)
+    digests = {content_hash(config) for config in
+               (base, tweaked_loss, tweaked_api, no_faults)}
+    assert len(digests) == 4
+    # And the identical plan parsed twice is a cache hit.
+    same = StudyConfig(
+        seed=1, faults=FaultPlan.parse("loss=0.02,jitter=0.005,api5xx=0.1")
+    )
+    assert content_hash(same) == content_hash(base)
+
+
+# -------------------------------------------------------------- stability
+
+#: Golden digest of a fixed cell, computed once and pinned.  If this
+#: test fails, the canonical encoding changed: that is only legal
+#: together with a SCHEMA_VERSION bump (which changes the salt and
+#: therefore this digest — re-pin it in the same commit).
+GOLDEN_CELL_KEY = "d7b34095ac3ccdfd846a9606e6efe445d2e95b2952923903299a9bcf3833b66a"
+
+
+def _golden_cell() -> CellSpec:
+    return CellSpec(
+        kind=SWEEP,
+        config=StudyConfig(seed=2016, scale=0.05, watch_seconds=60.0),
+        n_sessions=4,
+        bandwidth_limit_mbps=0.5,
+    )
+
+
+def test_cell_key_is_pinned_across_restarts():
+    assert SCHEMA_VERSION == 1
+    assert cell_key(_golden_cell()) == GOLDEN_CELL_KEY
+
+
+def test_cell_key_stable_in_a_fresh_interpreter():
+    """Same digest under a different PYTHONHASHSEED in a new process —
+    the walk must never lean on hash()/repr ordering."""
+    code = (
+        "from repro.campaign.spec import SWEEP, CellSpec, cell_key\n"
+        "from repro.core.config import StudyConfig\n"
+        "cell = CellSpec(kind=SWEEP,\n"
+        "                config=StudyConfig(seed=2016, scale=0.05,\n"
+        "                                   watch_seconds=60.0),\n"
+        "                n_sessions=4, bandwidth_limit_mbps=0.5)\n"
+        "print(cell_key(cell))\n"
+    )
+    import os
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo_root, "src")
+    env["PYTHONHASHSEED"] = "12345"
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    assert out.stdout.strip() == GOLDEN_CELL_KEY
+
+
+def test_plan_keys_are_unique_and_order_stable():
+    spec = CampaignSpec(seeds=(1, 2), limits_mbps=(0.5, 2.0, 100.0))
+    cells = plan_cells(spec)
+    keys = [cell_key(cell) for cell in cells]
+    assert len(set(keys)) == len(keys) == 6
+    assert keys == [cell_key(cell) for cell in plan_cells(spec)]
+
+
+def test_salt_separates_schema_versions():
+    # The digest of a value is not the raw sha256 of its encoding: the
+    # version salt is in front, so bumping SCHEMA_VERSION orphans every
+    # old key instead of silently serving stale blobs.
+    import hashlib
+    raw = hashlib.sha256(canonical_bytes(42)).hexdigest()
+    assert content_hash(42) != raw

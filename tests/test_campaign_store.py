@@ -1,0 +1,252 @@
+"""Store invariants (repro.campaign.store).
+
+The crash-safety story rests on three mechanical guarantees tested
+here: blobs are atomic and verified on read, the journal tolerates torn
+and damaged lines without losing valid records, and one directory
+admits one runner.  gc must never delete a blob any journal record
+references.
+"""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.campaign.hashing import blob_hash
+from repro.campaign.store import (
+    RECORD_CELL,
+    CampaignStore,
+    CorruptBlobError,
+    StoreError,
+    StoreLockedError,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = CampaignStore(str(tmp_path / "camp"))
+    yield store
+    store.close()
+
+
+def _open_for_append(store):
+    store.acquire_lock()
+    return store.open_journal()
+
+
+# ------------------------------------------------------------------- blobs
+
+def test_put_blob_round_trips_and_is_content_addressed(store):
+    data = b"x" * 1000
+    address = store.put_blob(data)
+    assert address == blob_hash(data)
+    assert store.has_blob(address)
+    assert store.read_blob(address) == data
+    assert store.blob_addresses() == [address]
+
+
+def test_put_blob_is_idempotent(store):
+    address_one = store.put_blob(b"same bytes")
+    address_two = store.put_blob(b"same bytes")
+    assert address_one == address_two
+    assert len(store.blob_addresses()) == 1
+
+
+def test_corrupted_blob_is_reported_never_served(store):
+    address = store.put_blob(b"precious result bytes")
+    path = store._blob_path(address)
+    with open(path, "r+b") as blob_file:
+        blob_file.seek(4)
+        blob_file.write(b"ROT")
+    with pytest.raises(CorruptBlobError) as excinfo:
+        store.read_blob(address)
+    assert excinfo.value.address == address
+    assert excinfo.value.actual != address
+
+
+def test_put_blob_heals_a_corrupted_object(store):
+    """Recomputing a cell whose blob rotted must rewrite the object —
+    path existence alone is not proof of integrity."""
+    data = b"deterministic cell result"
+    address = store.put_blob(data)
+    with open(store._blob_path(address), "r+b") as blob_file:
+        blob_file.write(b"ROTROTROT")
+    assert store.put_blob(data) == address
+    assert store.read_blob(address) == data
+
+
+def test_put_blob_leaves_no_temp_droppings(store):
+    store.put_blob(b"a")
+    store.put_blob(b"b")
+    for root, _dirs, names in os.walk(store.path):
+        assert not [n for n in names if n.endswith(".tmp")], (root, names)
+
+
+# ----------------------------------------------------------------- journal
+
+def test_journal_append_scan_round_trip(store):
+    _open_for_append(store)
+    records = [
+        {"kind": RECORD_CELL, "key": "k1", "blob": "b1"},
+        {"kind": "checkpoint", "completed": 1, "planned": 2},
+        {"kind": RECORD_CELL, "key": "k2", "blob": "b2"},
+    ]
+    for record in records:
+        store.append_record(record)
+    scan = store.scan_journal()
+    assert scan.records == records
+    assert scan.damaged == 0
+    assert not scan.torn_tail
+    assert store.completed_cells(scan) == {"k1": "b1", "k2": "b2"}
+
+
+def test_completed_cells_last_record_wins(store):
+    _open_for_append(store)
+    store.append_record({"kind": RECORD_CELL, "key": "k", "blob": "old"})
+    store.append_record({"kind": RECORD_CELL, "key": "k", "blob": "new"})
+    assert store.completed_cells() == {"k": "new"}
+
+
+def test_append_requires_open_journal(store):
+    with pytest.raises(StoreError):
+        store.append_record({"kind": "checkpoint"})
+
+
+def test_open_journal_requires_the_lock(store):
+    with pytest.raises(StoreError):
+        store.open_journal()
+
+
+def test_torn_final_record_is_detected_and_truncated(store):
+    _open_for_append(store)
+    store.append_record({"kind": RECORD_CELL, "key": "k1", "blob": "b1"})
+    store.close()
+    # Simulate a power cut mid-append: a partial line with no newline.
+    with open(store.journal_path, "ab") as journal:
+        journal.write(b'deadbeef {"kind":"cell","key":"k2"')
+    scan = store.scan_journal()
+    assert scan.torn_tail
+    assert [r["key"] for r in scan.records] == ["k1"]
+    # Reopening truncates the torn tail; the journal is clean again.
+    reopened = _open_for_append(store)
+    assert reopened.torn_tail
+    store.append_record({"kind": RECORD_CELL, "key": "k3", "blob": "b3"})
+    final = store.scan_journal()
+    assert not final.torn_tail and final.damaged == 0
+    assert [r["key"] for r in final.records] == ["k1", "k3"]
+
+
+def test_complete_final_record_missing_only_its_newline_still_counts(store):
+    _open_for_append(store)
+    store.append_record({"kind": RECORD_CELL, "key": "k1", "blob": "b1"})
+    store.close()
+    with open(store.journal_path, "r+b") as journal:
+        journal.seek(0, os.SEEK_END)
+        journal.truncate(journal.tell() - 1)  # chop just the newline
+    scan = store.scan_journal()
+    assert not scan.torn_tail
+    assert [r["key"] for r in scan.records] == ["k1"]
+
+
+def test_damaged_middle_record_is_dropped_not_fatal(store):
+    _open_for_append(store)
+    store.append_record({"kind": RECORD_CELL, "key": "k1", "blob": "b1"})
+    store.append_record({"kind": RECORD_CELL, "key": "k2", "blob": "b2"})
+    store.append_record({"kind": RECORD_CELL, "key": "k3", "blob": "b3"})
+    store.close()
+    # Flip bytes inside the middle line (bit rot): CRC must catch it.
+    with open(store.journal_path, "rb") as journal:
+        lines = journal.read().splitlines(keepends=True)
+    lines[1] = lines[1][:12] + b"XX" + lines[1][14:]
+    with open(store.journal_path, "wb") as journal:
+        journal.writelines(lines)
+    scan = store.scan_journal()
+    assert scan.damaged == 1
+    assert [r["key"] for r in scan.records] == ["k1", "k3"]
+    assert store.completed_cells(scan) == {"k1": "b1", "k3": "b3"}
+
+
+def test_crc_framing_is_what_it_claims(store):
+    _open_for_append(store)
+    store.append_record({"kind": "checkpoint", "completed": 0})
+    store.close()
+    with open(store.journal_path, "rb") as journal:
+        line = journal.readline()
+    crc_hex, payload = line.split(b" ", 1)
+    payload = payload.rstrip(b"\n")
+    assert int(crc_hex, 16) == zlib.crc32(payload) & 0xFFFFFFFF
+    assert json.loads(payload) == {"completed": 0, "kind": "checkpoint"}
+
+
+def test_post_append_hook_fires_after_the_fsync(store):
+    _open_for_append(store)
+    seen = []
+    store.post_append = lambda record: seen.append(record["kind"])
+    store.append_record({"kind": "checkpoint", "completed": 1})
+    assert seen == ["checkpoint"]
+
+
+# -------------------------------------------------------------------- lock
+
+def test_second_runner_is_refused(store):
+    store.acquire_lock()
+    other = CampaignStore(store.path)
+    with pytest.raises(StoreLockedError):
+        other.acquire_lock()
+    store.release_lock()
+    other.acquire_lock()  # freed: now it can
+    other.close()
+
+
+def test_context_manager_locks_and_releases(tmp_path):
+    path = str(tmp_path / "camp")
+    with CampaignStore(path) as store:
+        with pytest.raises(StoreLockedError):
+            CampaignStore(path).acquire_lock()
+    follower = CampaignStore(path)
+    follower.acquire_lock()
+    follower.close()
+
+
+# --------------------------------------------------------------------- gc
+
+def test_gc_never_deletes_a_journal_referenced_blob(store):
+    _open_for_append(store)
+    live = store.put_blob(b"live cell result")
+    dead = store.put_blob(b"orphaned result")
+    store.append_record({"kind": RECORD_CELL, "key": "k", "blob": live})
+    removed_blobs, _ = store.gc()
+    assert removed_blobs == 1
+    assert store.has_blob(live)
+    assert not store.has_blob(dead)
+    assert store.read_blob(live) == b"live cell result"
+
+
+def test_gc_sweeps_temp_orphans(store):
+    _open_for_append(store)
+    address = store.put_blob(b"kept")
+    store.append_record({"kind": RECORD_CELL, "key": "k", "blob": address})
+    shard_dir = os.path.dirname(store._blob_path(address))
+    with open(os.path.join(shard_dir, "halfwrite.tmp"), "wb") as orphan:
+        orphan.write(b"torn")
+    with open(os.path.join(store.path, "dataset.pkl.tmp"), "wb") as orphan:
+        orphan.write(b"torn")
+    blobs_removed, tmp_removed = store.gc()
+    assert blobs_removed == 0
+    assert tmp_removed == 2
+    assert store.has_blob(address)
+
+
+def test_gc_on_empty_store_is_a_no_op(store):
+    assert store.gc() == (0, 0)
+
+
+# --------------------------------------------------------------- artifacts
+
+def test_artifacts_write_atomically_and_overwrite(store):
+    path = store.write_artifact("dataset.pkl", b"v1")
+    assert store.read_artifact("dataset.pkl") == b"v1"
+    assert store.write_artifact("dataset.pkl", b"v2") == path
+    assert store.read_artifact("dataset.pkl") == b"v2"
+    assert store.read_artifact("never-written") is None

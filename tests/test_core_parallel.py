@@ -10,7 +10,7 @@ import pytest
 from repro import obs
 from repro.automation.devices import GALAXY_S3
 from repro.core.config import StudyConfig
-from repro.core.parallel import chunk_bounds, run_sessions
+from repro.core.parallel import chunk_bounds, run_sessions, run_tasks
 from repro.core.session import SessionSetup
 from repro.core.study import AutomatedViewingStudy
 from repro.obs.metrics import MetricsRegistry
@@ -103,6 +103,72 @@ def test_worker_crash_propagates_to_parent():
     )
     with pytest.raises((AttributeError, TypeError)):
         run_sessions([poisoned], study_seed=SEED, workers=2)
+
+
+def _poisoned_setup():
+    return SessionSetup(
+        broadcast=None,
+        age_at_join=10.0,
+        protocol=DeliveryProtocol.RTMP,
+        device=GALAXY_S3,
+        seed=1,
+    )
+
+
+def test_worker_exception_carries_the_failing_cell_index():
+    """The re-raised exception names the *global* index of the poisoned
+    setup — an instance attribute set in the worker, so it must survive
+    the pickle trip — and keeps the remote traceback chained."""
+    study = AutomatedViewingStudy(StudyConfig(seed=SEED, watch_seconds=4.0))
+    setups = []
+    while len(setups) < 9:
+        setup = study._next_setup(100.0)
+        if setup is not None:
+            setups.append(setup)
+    poison_at = 3  # with 9 setups and 2 workers, chunks are 2 wide:
+    setups[poison_at] = _poisoned_setup()  # offset 1 inside chunk [2, 4)
+    with pytest.raises((AttributeError, TypeError)) as excinfo:
+        run_sessions(setups, study_seed=SEED, workers=2)
+    assert getattr(excinfo.value, "cell_index", None) == poison_at
+    # concurrent.futures chains the worker-side traceback as the cause.
+    assert excinfo.value.__cause__ is not None
+    assert "_run_chunk" in str(excinfo.value.__cause__)
+
+
+# ----------------------------------------------------------- run_tasks
+
+def _triple(value):
+    return value * 3
+
+
+def _fail_on_negative(value):
+    if value < 0:
+        raise ValueError(f"bad item {value}")
+    return value
+
+
+def test_run_tasks_returns_results_in_input_order():
+    observed = []
+    results = run_tasks(
+        _triple, [5, 1, 4, 2], workers=2,
+        on_result=lambda index, result: observed.append((index, result)),
+    )
+    assert results == [15, 3, 12, 6]
+    # on_result fires in submission order, which is what lets the
+    # campaign runner checkpoint incrementally and deterministically.
+    assert observed == [(0, 15), (1, 3), (2, 12), (3, 6)]
+
+
+def test_run_tasks_exception_carries_the_task_index():
+    with pytest.raises(ValueError) as excinfo:
+        run_tasks(_fail_on_negative, [1, 2, -7, 4], workers=2)
+    assert getattr(excinfo.value, "task_index", None) == 2
+    assert excinfo.value.__cause__ is not None
+
+
+def test_run_tasks_rejects_single_worker():
+    with pytest.raises(ValueError):
+        run_tasks(_triple, [1], workers=1)
 
 
 def test_run_sessions_rejects_single_worker():
